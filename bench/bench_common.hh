@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries that regenerate the
+ * paper's tables and figures. Each binary prints the same rows/series
+ * the paper reports; absolute values are model-specific, the *shape*
+ * (who wins, by what factor, where crossovers fall) is what
+ * EXPERIMENTS.md compares.
+ */
+
+#ifndef HERALD_BENCH_BENCH_COMMON_HH
+#define HERALD_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "dse/herald_dse.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "util/pareto.hh"
+#include "util/table.hh"
+#include "workload/workload.hh"
+
+namespace herald::bench
+{
+
+/** Schedule @p wl on @p acc and return the finalized summary. */
+inline sched::ScheduleSummary
+runSchedule(cost::CostModel &model, const workload::Workload &wl,
+            const accel::Accelerator &acc,
+            const sched::SchedulerOptions &opts =
+                sched::SchedulerOptions{})
+{
+    sched::HeraldScheduler scheduler(model, opts);
+    sched::Schedule s = scheduler.schedule(wl, acc);
+    std::string issue = s.validate(wl, acc);
+    if (!issue.empty())
+        util::panic("invalid schedule on ", acc.name(), ": ", issue);
+    return s.finalize(acc, model.energyModel());
+}
+
+/** DSE options used by the figure benches (1/16 PE, 1/8 BW grid —
+ * the granularity of the paper's Table V partitions). */
+inline dse::HeraldOptions
+benchDseOptions(const accel::AcceleratorClass &chip)
+{
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = chip.numPes / 16;
+    opts.partition.bwGranularity = chip.bwGBps / 8;
+    return opts;
+}
+
+/** Herald-optimized HDA for @p styles; returns the best DSE point. */
+inline dse::DsePoint
+bestHda(cost::CostModel &model, const workload::Workload &wl,
+        const accel::AcceleratorClass &chip,
+        const std::vector<dataflow::DataflowStyle> &styles)
+{
+    dse::Herald herald(model, benchDseOptions(chip));
+    dse::DseResult result = herald.explore(wl, chip, styles);
+    return result.best();
+}
+
+/** Named design point used in comparison tables. */
+struct NamedSummary
+{
+    std::string name;
+    sched::ScheduleSummary summary;
+};
+
+/** Best-EDP FDA across the three dataflow styles. */
+inline NamedSummary
+bestFda(cost::CostModel &model, const workload::Workload &wl,
+        const accel::AcceleratorClass &chip)
+{
+    NamedSummary best;
+    double best_edp = 1e300;
+    for (dataflow::DataflowStyle style : dataflow::kAllStyles) {
+        accel::Accelerator acc =
+            accel::Accelerator::makeFda(chip, style);
+        sched::ScheduleSummary s = runSchedule(model, wl, acc);
+        if (s.edp() < best_edp) {
+            best_edp = s.edp();
+            best = NamedSummary{acc.name(), s};
+        }
+    }
+    return best;
+}
+
+/** Best-EDP scaled-out multi-FDA across the three styles. */
+inline NamedSummary
+bestSmFda(cost::CostModel &model, const workload::Workload &wl,
+          const accel::AcceleratorClass &chip)
+{
+    NamedSummary best;
+    double best_edp = 1e300;
+    for (dataflow::DataflowStyle style : dataflow::kAllStyles) {
+        accel::Accelerator acc =
+            accel::Accelerator::makeScaledOutFda(chip, style, 2);
+        sched::ScheduleSummary s = runSchedule(model, wl, acc);
+        if (s.edp() < best_edp) {
+            best_edp = s.edp();
+            best = NamedSummary{acc.name(), s};
+        }
+    }
+    return best;
+}
+
+/** MAERI-style RDA summary. */
+inline NamedSummary
+rdaSummary(cost::CostModel &model, const workload::Workload &wl,
+           const accel::AcceleratorClass &chip)
+{
+    accel::Accelerator acc = accel::Accelerator::makeRda(chip);
+    return NamedSummary{acc.name(), runSchedule(model, wl, acc)};
+}
+
+/** "-65.3%"-style relative difference of a vs b. */
+inline std::string
+relPct(double a, double b)
+{
+    return util::fmtPercent(a / b - 1.0);
+}
+
+/** Print a standard (design, latency, energy, EDP) table row. */
+inline void
+addSummaryRow(util::Table &table, const std::string &name,
+              const sched::ScheduleSummary &s)
+{
+    table.addRow({name, util::fmtDouble(s.latencySec * 1e3, 4),
+                  util::fmtDouble(s.energyMj, 4),
+                  util::fmtDouble(s.edp(), 4)});
+}
+
+/** The standard 4-column comparison table. */
+inline util::Table
+summaryTable()
+{
+    return util::Table(
+        {"design", "latency (ms)", "energy (mJ)", "EDP (mJ*s)"});
+}
+
+} // namespace herald::bench
+
+#endif // HERALD_BENCH_BENCH_COMMON_HH

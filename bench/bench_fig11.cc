@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Fig. 11 reproduction: the full design space. For each of the nine
+ * {AR/VR-A, AR/VR-B, MLPerf} x {edge, mobile, cloud} scenarios,
+ * evaluate every accelerator family of Table III:
+ *
+ *   - 3 FDAs (NVDLA / Shi-diannao / Eyeriss),
+ *   - 3 scaled-out multi-FDAs (2x same dataflow, even split),
+ *   - a MAERI-style RDA,
+ *   - 3 two-way HDAs and the three-way HDA, each as a Herald
+ *     partition sweep (every point printed is one partitioning with
+ *     an optimized schedule),
+ *
+ * then print the per-scenario Pareto front and the headline
+ * comparison (best HDA vs best FDA / SM-FDA / RDA).
+ *
+ * Expected shape (paper): HDA and RDA points on the Pareto curve,
+ * FDAs off it; best HDA ~65% latency / ~5% energy better than the
+ * best FDA; RDA faster but ~20% hungrier than the best HDA.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace herald;
+using dataflow::DataflowStyle;
+
+struct HdaCombo
+{
+    std::string name;
+    std::vector<DataflowStyle> styles;
+};
+
+std::vector<HdaCombo>
+hdaCombos()
+{
+    return {{"NVDLA+Shi HDA (Maelstrom)",
+             {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao}},
+            {"Shi+Eyeriss HDA",
+             {DataflowStyle::ShiDiannao, DataflowStyle::Eyeriss}},
+            {"Eyeriss+NVDLA HDA",
+             {DataflowStyle::Eyeriss, DataflowStyle::NVDLA}},
+            {"NVDLA+Shi+Eyeriss HDA",
+             {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+              DataflowStyle::Eyeriss}}};
+}
+
+} // namespace
+
+int
+main()
+{
+    util::setVerbose(false);
+
+    struct Gain
+    {
+        double latency = 0.0;
+        double energy = 0.0;
+        int n = 0;
+    };
+    Gain vs_fda, vs_smfda, vs_rda;
+
+    std::vector<workload::Workload> workloads;
+    workloads.push_back(workload::arvrA());
+    workloads.push_back(workload::arvrB());
+    workloads.push_back(workload::mlperf());
+
+    for (const workload::Workload &wl : workloads) {
+        for (const accel::AcceleratorClass &chip :
+             accel::allClasses()) {
+            cost::CostModel model;
+            std::printf("=== Fig. 11: %s on %s accelerator ===\n",
+                        wl.name().c_str(), chip.name.c_str());
+
+            std::vector<util::DesignPoint> all_points;
+            util::Table table = bench::summaryTable();
+
+            // FDAs and SM-FDAs.
+            for (DataflowStyle style : dataflow::kAllStyles) {
+                for (bool scaled : {false, true}) {
+                    accel::Accelerator acc =
+                        scaled ? accel::Accelerator::makeScaledOutFda(
+                                     chip, style, 2)
+                               : accel::Accelerator::makeFda(chip,
+                                                             style);
+                    sched::ScheduleSummary s =
+                        bench::runSchedule(model, wl, acc);
+                    bench::addSummaryRow(table, acc.name(), s);
+                    all_points.push_back(util::DesignPoint{
+                        s.latencySec, s.energyMj, acc.name()});
+                }
+            }
+
+            // RDA.
+            bench::NamedSummary rda =
+                bench::rdaSummary(model, wl, chip);
+            bench::addSummaryRow(table, rda.name, rda.summary);
+            all_points.push_back(util::DesignPoint{
+                rda.summary.latencySec, rda.summary.energyMj,
+                rda.name});
+
+            // HDA combos: full partition sweeps; every candidate is a
+            // design point, the best-EDP one goes into the table.
+            double best_hda_edp = 1e300;
+            sched::ScheduleSummary best_hda;
+            std::string best_hda_name;
+            for (const HdaCombo &combo : hdaCombos()) {
+                dse::Herald herald(model,
+                                   bench::benchDseOptions(chip));
+                dse::DseResult result =
+                    herald.explore(wl, chip, combo.styles);
+                for (const dse::DsePoint &p : result.points) {
+                    all_points.push_back(p.designPoint());
+                }
+                const dse::DsePoint &best = result.best();
+                bench::addSummaryRow(table,
+                                     combo.name + " best: " +
+                                         best.accelerator.name(),
+                                     best.summary);
+                if (best.summary.edp() < best_hda_edp) {
+                    best_hda_edp = best.summary.edp();
+                    best_hda = best.summary;
+                    best_hda_name = combo.name;
+                }
+            }
+
+            table.print(std::cout);
+
+            // Pareto front across everything evaluated.
+            auto front = util::paretoFront(all_points);
+            std::printf("\nPareto front (%zu of %zu points):\n",
+                        front.size(), all_points.size());
+            for (const util::DesignPoint &p : front) {
+                std::printf("  %9.3f ms  %9.3f mJ  %s\n",
+                            p.latency * 1e3, p.energy,
+                            p.label.c_str());
+            }
+
+            // Headline comparison for this scenario.
+            bench::NamedSummary fda =
+                bench::bestFda(model, wl, chip);
+            bench::NamedSummary smfda =
+                bench::bestSmFda(model, wl, chip);
+            std::printf("\nBest HDA (%s) vs:\n",
+                        best_hda_name.c_str());
+            auto report = [&](const char *tag,
+                              const bench::NamedSummary &other,
+                              Gain &gain) {
+                std::printf(
+                    "  %-22s latency %s  energy %s  (vs %s)\n", tag,
+                    bench::relPct(best_hda.latencySec,
+                                  other.summary.latencySec)
+                        .c_str(),
+                    bench::relPct(best_hda.energyMj,
+                                  other.summary.energyMj)
+                        .c_str(),
+                    other.name.c_str());
+                gain.latency += best_hda.latencySec /
+                                other.summary.latencySec;
+                gain.energy +=
+                    best_hda.energyMj / other.summary.energyMj;
+                gain.n += 1;
+            };
+            report("best FDA", fda, vs_fda);
+            report("best SM-FDA", smfda, vs_smfda);
+            report("RDA", rda, vs_rda);
+            std::printf("\n");
+        }
+    }
+
+    auto avg = [](const Gain &g, bool energy) {
+        double total = energy ? g.energy : g.latency;
+        return (total / g.n - 1.0) * 100.0;
+    };
+    std::printf("=== Fig. 11 headline averages over 9 scenarios ===\n");
+    std::printf("best HDA vs best FDA:    latency %+.1f%%, energy "
+                "%+.1f%%  (paper: -65.3%%, -5.0%%)\n",
+                avg(vs_fda, false), avg(vs_fda, true));
+    std::printf("best HDA vs best SM-FDA: latency %+.1f%%, energy "
+                "%+.1f%%  (paper: -63.1%%, -4.1%%)\n",
+                avg(vs_smfda, false), avg(vs_smfda, true));
+    std::printf("best HDA vs RDA:         latency %+.1f%%, energy "
+                "%+.1f%%  (paper: +20.7%%, -22.0%%)\n",
+                avg(vs_rda, false), avg(vs_rda, true));
+    return 0;
+}

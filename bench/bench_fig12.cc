@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 12 reproduction: single-DNN use cases. UNet and ResNet50 with
+ * batch size 4 on the cloud accelerator; FDA design points plus the
+ * Maelstrom (NVDLA+Shi-diannao HDA) partition sweep. With a single
+ * model, HDAs exploit only batch-level parallelism and intra-model
+ * layer heterogeneity.
+ *
+ * Expected shape (paper): the best FDA lands on the Pareto curve
+ * (unlike the multi-DNN case), but the optimized HDA still improves
+ * EDP (paper: 26.4% on UNet, 48.1% on ResNet50); RDA is faster but
+ * needs more energy than the HDA.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "dnn/model_zoo.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    accel::AcceleratorClass chip = accel::cloudClass();
+
+    for (const char *which : {"UNet", "Resnet50"}) {
+        cost::CostModel model;
+        workload::Workload wl(std::string(which) + "-b4");
+        wl.addModel(std::string(which) == "UNet" ? dnn::uNet()
+                                                 : dnn::resnet50(),
+                    4);
+
+        std::printf("=== Fig. 12: %s batch 4 on cloud ===\n", which);
+        util::Table table = bench::summaryTable();
+        std::vector<util::DesignPoint> points;
+
+        double best_fda_edp = 1e300;
+        for (dataflow::DataflowStyle style : dataflow::kAllStyles) {
+            accel::Accelerator acc =
+                accel::Accelerator::makeFda(chip, style);
+            sched::ScheduleSummary s =
+                bench::runSchedule(model, wl, acc);
+            bench::addSummaryRow(table, acc.name(), s);
+            points.push_back(util::DesignPoint{s.latencySec,
+                                               s.energyMj,
+                                               acc.name()});
+            best_fda_edp = std::min(best_fda_edp, s.edp());
+        }
+
+        dse::DsePoint hda = bench::bestHda(
+            model, wl, chip,
+            {dataflow::DataflowStyle::NVDLA,
+             dataflow::DataflowStyle::ShiDiannao});
+        bench::addSummaryRow(table,
+                             "Maelstrom best: " +
+                                 hda.accelerator.name(),
+                             hda.summary);
+        points.push_back(hda.designPoint());
+
+        bench::NamedSummary rda = bench::rdaSummary(model, wl, chip);
+        bench::addSummaryRow(table, rda.name, rda.summary);
+        points.push_back(util::DesignPoint{rda.summary.latencySec,
+                                           rda.summary.energyMj,
+                                           rda.name});
+
+        table.print(std::cout);
+
+        std::printf("\nMaelstrom EDP vs best FDA: %s "
+                    "(paper: -26.4%% UNet / -48.1%% ResNet50)\n",
+                    bench::relPct(hda.summary.edp(), best_fda_edp)
+                        .c_str());
+        std::printf("RDA latency vs Maelstrom: %s, RDA energy vs "
+                    "Maelstrom: %s\n\n",
+                    bench::relPct(rda.summary.latencySec,
+                                  hda.summary.latencySec)
+                        .c_str(),
+                    bench::relPct(rda.summary.energyMj,
+                                  hda.summary.energyMj)
+                        .c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fig. 13 reproduction: robustness to workload change. Maelstrom
+ * designs are optimized for one workload (HDA-A for AR/VR-A, HDA-B
+ * for AR/VR-B, HDA-M for MLPerf) on each accelerator class, then all
+ * three workloads run on every fixed design with re-scheduling only.
+ * FDA, SM-FDA (SFDA) and RDA averages are printed alongside.
+ *
+ * Expected shape (paper): running a workload on an HDA optimized for
+ * a different workload costs only a few percent (paper: +4.0%
+ * latency, +0.1% energy on average); HDAs keep their energy edge
+ * over RDAs and their latency+energy edge over FDAs.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    std::vector<workload::Workload> workloads;
+    workloads.push_back(workload::arvrA());
+    workloads.push_back(workload::arvrB());
+    workloads.push_back(workload::mlperf());
+    const char *hda_names[] = {"HDA-A", "HDA-B", "HDA-M"};
+
+    cost::CostModel model;
+
+    // Accumulated (over the three classes) latency/energy per
+    // (workload, design-family) cell, as in the figure's bars.
+    struct Cell
+    {
+        double latency = 0.0;
+        double energy = 0.0;
+    };
+    std::map<std::string, std::array<Cell, 3>> cells;
+
+    for (const accel::AcceleratorClass &chip : accel::allClasses()) {
+        // Optimize one Maelstrom design per workload on this class.
+        std::vector<accel::Accelerator> hdas;
+        for (const workload::Workload &wl : workloads) {
+            dse::DsePoint best = bench::bestHda(
+                model, wl, chip,
+                {dataflow::DataflowStyle::NVDLA,
+                 dataflow::DataflowStyle::ShiDiannao});
+            hdas.push_back(best.accelerator);
+        }
+
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const workload::Workload &wl = workloads[w];
+
+            bench::NamedSummary fda = bench::bestFda(model, wl, chip);
+            cells["FDA"][w].latency += fda.summary.latencySec;
+            cells["FDA"][w].energy += fda.summary.energyMj;
+
+            bench::NamedSummary sfda =
+                bench::bestSmFda(model, wl, chip);
+            cells["SFDA"][w].latency += sfda.summary.latencySec;
+            cells["SFDA"][w].energy += sfda.summary.energyMj;
+
+            bench::NamedSummary rda =
+                bench::rdaSummary(model, wl, chip);
+            cells["RDA"][w].latency += rda.summary.latencySec;
+            cells["RDA"][w].energy += rda.summary.energyMj;
+
+            for (std::size_t h = 0; h < hdas.size(); ++h) {
+                sched::ScheduleSummary s =
+                    bench::runSchedule(model, wl, hdas[h]);
+                cells[hda_names[h]][w].latency += s.latencySec;
+                cells[hda_names[h]][w].energy += s.energyMj;
+            }
+        }
+    }
+
+    const int n_classes = 3;
+    std::printf("=== Fig. 13: average latency/energy across "
+                "edge+mobile+cloud per workload ===\n\n");
+    for (int metric = 0; metric < 2; ++metric) {
+        util::Table table({metric == 0 ? "avg latency (ms)"
+                                       : "avg energy (mJ)",
+                           "AR/VR-A", "AR/VR-B", "MLPerf"});
+        for (const char *family :
+             {"FDA", "SFDA", "RDA", "HDA-A", "HDA-B", "HDA-M"}) {
+            std::vector<std::string> row{family};
+            for (int w = 0; w < 3; ++w) {
+                const Cell &c = cells[family][w];
+                double value = metric == 0
+                                   ? c.latency / n_classes * 1e3
+                                   : c.energy / n_classes;
+                row.push_back(util::fmtDouble(value, 4));
+            }
+            table.addRow(row);
+        }
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    // Workload-change penalty: HDA-X running its own workload vs the
+    // average over foreign HDAs running that workload.
+    std::printf("Workload-change penalty (foreign HDA vs matched "
+                "HDA):\n");
+    double lat_pen = 0.0, en_pen = 0.0;
+    int n = 0;
+    for (int w = 0; w < 3; ++w) {
+        const Cell &own = cells[hda_names[w]][w];
+        for (int h = 0; h < 3; ++h) {
+            if (h == w)
+                continue;
+            const Cell &foreign = cells[hda_names[h]][w];
+            lat_pen += foreign.latency / own.latency;
+            en_pen += foreign.energy / own.energy;
+            ++n;
+        }
+    }
+    std::printf("  latency %+.1f%%, energy %+.1f%%  (paper: +4.0%%, "
+                "+0.1%%)\n",
+                (lat_pen / n - 1.0) * 100.0,
+                (en_pen / n - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 2 reproduction: EDP of Shi-diannao-, Eyeriss- and NVDLA-style
+ * fixed-dataflow accelerators running ResNet50 and UNet on a common
+ * 256-PE / 32 GB/s substrate.
+ *
+ * Expected shape (paper): NVDLA far ahead on ResNet50 (deep
+ * channels); Shi-diannao/Eyeriss far ahead on UNet (shallow channels,
+ * huge activations), where NVDLA's EDP explodes.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "dnn/model_zoo.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    // The Fig. 2 substrate: 256 PEs, 32 GB/s NoC, 1 MiB buffer.
+    accel::AcceleratorClass chip{"fig2", 256, 32.0, 2ULL << 20};
+    cost::CostModel model;
+
+    std::printf("=== Fig. 2: EDP of FDA styles on ResNet50 and UNet "
+                "(256 PEs, 32 GB/s) ===\n\n");
+
+    for (const char *which : {"Resnet50", "UNet"}) {
+        workload::Workload wl(which);
+        wl.addModel(std::string(which) == "Resnet50"
+                        ? dnn::resnet50()
+                        : dnn::uNet(),
+                    1);
+
+        util::Table table({"accelerator style", "latency (ms)",
+                           "energy (mJ)", "EDP (mJ*s)",
+                           "EDP vs best"});
+        struct Row
+        {
+            std::string name;
+            sched::ScheduleSummary s;
+        };
+        std::vector<Row> rows;
+        double best = 1e300;
+        for (dataflow::DataflowStyle style : dataflow::kAllStyles) {
+            accel::Accelerator acc =
+                accel::Accelerator::makeFda(chip, style);
+            sched::ScheduleSummary s =
+                bench::runSchedule(model, wl, acc);
+            best = std::min(best, s.edp());
+            rows.push_back(Row{dataflow::toString(style), s});
+        }
+        for (const Row &row : rows) {
+            table.addRow(
+                {row.name + " style",
+                 util::fmtDouble(row.s.latencySec * 1e3, 4),
+                 util::fmtDouble(row.s.energyMj, 4),
+                 util::fmtDouble(row.s.edp(), 4),
+                 util::fmtDouble(row.s.edp() / best, 3) + "x"});
+        }
+        std::printf("(%s)\n", which);
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table I reproduction: heterogeneity of the DNN models used in the
+ * AR/VR workloads — min/median/max channel-activation size ratio and
+ * the operator mix per model, plus the headline claim that the
+ * largest ratio across the models is >10^5 times the smallest.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    std::printf("=== Table I: heterogeneity of the AR/VR DNN models "
+                "===\n\n");
+    util::Table table({"model", "ratio min", "ratio median",
+                       "ratio max", "layer operations"});
+
+    double global_min = 1e300, global_max = 0.0;
+    for (const dnn::Model &m :
+         {dnn::mobileNetV2(), dnn::resnet50(), dnn::uNet(),
+          dnn::brqHandposeNet(), dnn::focalLengthDepthNet()}) {
+        std::vector<double> ratios;
+        std::set<std::string> ops;
+        for (const dnn::Layer &l : m.layers()) {
+            ratios.push_back(l.channelActivationRatio());
+            ops.insert(dnn::toString(l.kind()));
+        }
+        std::sort(ratios.begin(), ratios.end());
+        double median = ratios[ratios.size() / 2];
+        global_min = std::min(global_min, ratios.front());
+        global_max = std::max(global_max, ratios.back());
+
+        std::string op_list;
+        for (const std::string &op : ops)
+            op_list += (op_list.empty() ? "" : ", ") + op;
+        table.addRow({m.name(), util::fmtDouble(ratios.front(), 4),
+                      util::fmtDouble(median, 4),
+                      util::fmtDouble(ratios.back(), 4), op_list});
+    }
+    table.print(std::cout);
+
+    std::printf("\nLargest/smallest ratio across models: %.0fx "
+                "(paper: 315076x)\n",
+                global_max / global_min);
+    std::printf("Expected shape: classifiers span ~0.01..4096; UNet "
+                "dips to ~0.002;\npose/depth models are dominated by "
+                "1024+-ratio FC layers.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table V reproduction: Maelstrom's Herald-optimized hardware
+ * resource partitioning (bandwidth and PEs for the NVDLA and
+ * Shi-diannao sub-accelerators) for every {workload x accelerator
+ * class} scenario.
+ *
+ * Expected shape (paper): partitions are non-trivial (rarely the even
+ * split); on average more PEs go to the NVDLA-style sub-accelerator
+ * (the workloads are channel-heavy), while Shi-diannao tends to
+ * claim a disproportionate bandwidth share relative to its PEs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    std::vector<workload::Workload> workloads;
+    workloads.push_back(workload::arvrA());
+    workloads.push_back(workload::arvrB());
+    workloads.push_back(workload::mlperf());
+
+    cost::CostModel model;
+
+    std::printf("=== Table V: Maelstrom optimized partitioning "
+                "(NVDLA / Shi-diannao) ===\n\n");
+    util::Table table({"scenario", "BW partitioning (GB/s)",
+                       "PE partitioning", "EDP (mJ*s)"});
+
+    double nvdla_pe_ratio = 0.0, nvdla_bw_ratio = 0.0;
+    int n = 0;
+    for (const workload::Workload &wl : workloads) {
+        for (const accel::AcceleratorClass &chip :
+             accel::allClasses()) {
+            dse::DsePoint best = bench::bestHda(
+                model, wl, chip,
+                {dataflow::DataflowStyle::NVDLA,
+                 dataflow::DataflowStyle::ShiDiannao});
+            const auto &subs = best.accelerator.subAccs();
+            table.addRow(
+                {wl.name() + ", " + chip.name,
+                 util::fmtDouble(subs[0].bwGBps, 0) + " / " +
+                     util::fmtDouble(subs[1].bwGBps, 0),
+                 std::to_string(subs[0].numPes) + " / " +
+                     std::to_string(subs[1].numPes),
+                 util::fmtDouble(best.summary.edp(), 4)});
+            nvdla_pe_ratio += static_cast<double>(subs[0].numPes) /
+                              static_cast<double>(subs[1].numPes);
+            nvdla_bw_ratio += subs[0].bwGBps / subs[1].bwGBps;
+            ++n;
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nAverage NVDLA/Shi PE ratio: %.2f (paper: NVDLA "
+                "gets ~2.1x PEs on average)\n",
+                nvdla_pe_ratio / n);
+    std::printf("Average NVDLA/Shi BW ratio: %.2f (paper: Shi gets "
+                "~8%% more BW on average)\n",
+                nvdla_bw_ratio / n);
+    return 0;
+}

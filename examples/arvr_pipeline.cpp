@@ -1,0 +1,81 @@
+/**
+ * @file
+ * AR/VR pipeline example: the paper's motivating scenario. Runs the
+ * full AR/VR-B workload (object detection, classification, hand
+ * tracking, hand pose, depth estimation) on an edge-class chip and
+ * compares every accelerator family of Table III: 3 FDAs, 3 SM-FDAs,
+ * an RDA, and Maelstrom with Herald-optimized partitioning.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "accel/accelerator.hh"
+#include "dse/herald_dse.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/workload.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    workload::Workload wl = workload::arvrB();
+    accel::AcceleratorClass chip = accel::edgeClass();
+
+    cost::CostModel model;
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = chip.numPes / 16;
+    opts.partition.bwGranularity = chip.bwGBps / 8;
+    dse::Herald herald(model, opts);
+
+    util::Table table({"accelerator", "latency (ms)", "energy (mJ)",
+                       "EDP (mJ*s)"});
+    auto add = [&](const accel::Accelerator &acc) {
+        dse::DsePoint p = herald.evaluate(wl, acc);
+        table.addRow({acc.name(),
+                      util::fmtDouble(p.summary.latencySec * 1e3, 4),
+                      util::fmtDouble(p.summary.energyMj, 4),
+                      util::fmtDouble(p.summary.edp(), 4)});
+        return p.summary;
+    };
+
+    std::printf("AR/VR-B on %s: %zu model instances, %zu layers\n\n",
+                chip.name.c_str(), wl.numInstances(),
+                wl.totalLayers());
+
+    for (dataflow::DataflowStyle style : dataflow::kAllStyles) {
+        add(accel::Accelerator::makeFda(chip, style));
+        add(accel::Accelerator::makeScaledOutFda(chip, style, 2));
+    }
+    add(accel::Accelerator::makeRda(chip));
+
+    // Herald's co-DSE for Maelstrom (NVDLA + Shi-diannao).
+    dse::DseResult result = herald.explore(
+        wl, chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao});
+    const dse::DsePoint &best = result.best();
+    table.addRow({"Maelstrom (Herald-optimized) " +
+                      best.accelerator.name(),
+                  util::fmtDouble(best.summary.latencySec * 1e3, 4),
+                  util::fmtDouble(best.summary.energyMj, 4),
+                  util::fmtDouble(best.summary.edp(), 4)});
+
+    table.print(std::cout);
+
+    // Fig. 7-style execution timeline on the optimized Maelstrom.
+    sched::HeraldScheduler scheduler(model);
+    sched::Schedule schedule =
+        scheduler.schedule(wl, best.accelerator);
+    std::printf("\nExecution timeline on %s\n%s\n",
+                best.accelerator.name().c_str(),
+                schedule.renderTimeline(wl).c_str());
+    std::printf("Peak global-buffer occupancy: %.2f MiB of %.0f MiB\n",
+                schedule.peakOccupancyBytes() / 1048576.0,
+                chip.globalBufferBytes / 1048576.0);
+    return 0;
+}

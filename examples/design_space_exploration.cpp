@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Design-space exploration example: Herald as an architect's tool.
+ * Sweeps PE/bandwidth partitionings of a two-way HDA on a cloud chip
+ * for the MLPerf workload, prints the Pareto-optimal designs and the
+ * chosen partition, and shows the alternative search strategies.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "dse/herald_dse.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/workload.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    workload::Workload wl = workload::mlperf();
+    accel::AcceleratorClass chip = accel::cloudClass();
+    std::vector<dataflow::DataflowStyle> styles{
+        dataflow::DataflowStyle::NVDLA,
+        dataflow::DataflowStyle::ShiDiannao};
+
+    cost::CostModel model;
+
+    // Exhaustive sweep at 1/16 PE and 1/8 bandwidth granularity.
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = chip.numPes / 16;
+    opts.partition.bwGranularity = chip.bwGBps / 8;
+    dse::Herald herald(model, opts);
+    dse::DseResult result = herald.explore(wl, chip, styles);
+
+    std::printf("Explored %zu partition candidates on %s for %s\n\n",
+                result.points.size(), chip.name.c_str(),
+                wl.name().c_str());
+
+    // Pareto front over (latency, energy).
+    auto front = util::paretoFront(result.designPoints());
+    util::Table table({"design", "latency (ms)", "energy (mJ)"});
+    for (const util::DesignPoint &p : front) {
+        table.addRow({p.label, util::fmtDouble(p.latency * 1e3, 4),
+                      util::fmtDouble(p.energy, 4)});
+    }
+    std::printf("Pareto-optimal designs (%zu of %zu):\n",
+                front.size(), result.points.size());
+    table.print(std::cout);
+
+    const dse::DsePoint &best = result.best();
+    std::printf("\nBest EDP design: %s\n",
+                best.accelerator.name().c_str());
+    std::printf("  latency %.3f ms, energy %.3f mJ, EDP %.4e\n",
+                best.summary.latencySec * 1e3, best.summary.energyMj,
+                best.summary.edp());
+
+    // The same exploration with the cheaper search strategies.
+    for (dse::SearchStrategy strategy :
+         {dse::SearchStrategy::Binary, dse::SearchStrategy::Random}) {
+        dse::HeraldOptions alt = opts;
+        alt.partition.strategy = strategy;
+        alt.partition.randomSamples = 16;
+        dse::Herald fast(model, alt);
+        dse::DseResult r = fast.explore(wl, chip, styles);
+        std::printf("\n%s search: %zu candidates, best EDP %.4e "
+                    "(vs exhaustive %.4e)\n",
+                    dse::toString(strategy), r.points.size(),
+                    r.best().summary.edp(), best.summary.edp());
+    }
+    return 0;
+}

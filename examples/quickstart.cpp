@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: schedule a two-model workload on Maelstrom (the
+ * NVDLA + Shi-diannao HDA) and print latency/energy/EDP next to the
+ * best fixed-dataflow accelerator.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "accel/accelerator.hh"
+#include "dnn/model_zoo.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+int
+main()
+{
+    using namespace herald;
+    util::setVerbose(false);
+
+    // 1. Describe the multi-DNN workload: a classifier plus a
+    //    segmentation network, as an AR/VR headset would run.
+    workload::Workload wl("quickstart");
+    wl.addModel(dnn::resnet50(), 1);
+    wl.addModel(dnn::uNet(), 1);
+
+    // 2. Pick a chip budget (Table IV mobile: 4096 PEs, 64 GB/s).
+    accel::AcceleratorClass chip = accel::mobileClass();
+
+    // 3. Build accelerators: Maelstrom-style HDA vs the three FDAs.
+    accel::Accelerator hda = accel::Accelerator::makeHda(
+        chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao},
+        {1536, 2560}, {48.0, 16.0});
+
+    // 4. Schedule with Herald and report.
+    cost::CostModel model;
+    sched::HeraldScheduler scheduler(model);
+
+    auto report = [&](const accel::Accelerator &acc) {
+        sched::Schedule s = scheduler.schedule(wl, acc);
+        std::string issue = s.validate(wl, acc);
+        if (!issue.empty())
+            util::panic("invalid schedule: ", issue);
+        sched::ScheduleSummary sum =
+            s.finalize(acc, model.energyModel());
+        std::printf("%-36s latency %9.3f ms  energy %9.3f mJ  "
+                    "EDP %.4e\n",
+                    acc.name().c_str(), sum.latencySec * 1e3,
+                    sum.energyMj, sum.edp());
+        return sum;
+    };
+
+    std::printf("Workload: %s (%zu layers, %.1f GMACs)\n\n",
+                wl.name().c_str(), wl.totalLayers(),
+                static_cast<double>(wl.totalMacs()) * 1e-9);
+
+    sched::ScheduleSummary hda_sum = report(hda);
+    double best_fda_edp = 1e300;
+    for (dataflow::DataflowStyle style : dataflow::kAllStyles) {
+        sched::ScheduleSummary sum =
+            report(accel::Accelerator::makeFda(chip, style));
+        best_fda_edp = std::min(best_fda_edp, sum.edp());
+    }
+
+    std::printf("\nHDA EDP vs best FDA: %+.1f%%\n",
+                (hda_sum.edp() / best_fda_edp - 1.0) * 100.0);
+    return 0;
+}

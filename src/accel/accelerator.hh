@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-chip accelerator descriptors: the accelerator classes of
+ * Table IV (edge / mobile / cloud) and the accelerator styles of
+ * Table III (FDA, scaled-out multi-FDA, RDA, HDA).
+ */
+
+#ifndef HERALD_ACCEL_ACCELERATOR_HH
+#define HERALD_ACCEL_ACCELERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/sub_accelerator.hh"
+#include "cost/cost_model.hh"
+
+namespace herald::accel
+{
+
+/** Chip-level resource budget (Table IV row). */
+struct AcceleratorClass
+{
+    std::string name;
+    std::uint64_t numPes = 0;
+    double bwGBps = 0.0;
+    std::uint64_t globalBufferBytes = 0;
+};
+
+/** Edge: 1024 PEs, 16 GB/s, 4 MiB. */
+AcceleratorClass edgeClass();
+/** Mobile: 4096 PEs, 64 GB/s, 8 MiB. */
+AcceleratorClass mobileClass();
+/** Cloud: 16384 PEs, 256 GB/s, 16 MiB. */
+AcceleratorClass cloudClass();
+/** All three classes in edge/mobile/cloud order. */
+std::vector<AcceleratorClass> allClasses();
+
+/** Architecture family of an accelerator instance (Table III). */
+enum class AcceleratorKind
+{
+    FDA,      //!< monolithic fixed-dataflow accelerator
+    SMFDA,    //!< scaled-out multi-FDA (same dataflow, even split)
+    RDA,      //!< reconfigurable dataflow accelerator (MAERI-style)
+    HDA,      //!< heterogeneous dataflow accelerator (this paper)
+};
+
+const char *toString(AcceleratorKind kind);
+
+/**
+ * A fully-specified accelerator: sub-accelerators plus the shared
+ * global buffer. Factories enforce Definition 1's constraints: PE and
+ * bandwidth shares sum exactly to the chip budget.
+ */
+class Accelerator
+{
+  public:
+    Accelerator(std::string name, AcceleratorKind kind,
+                std::vector<SubAccelerator> subs,
+                const AcceleratorClass &chip);
+
+    /** Monolithic FDA running @p style with the whole budget. */
+    static Accelerator makeFda(const AcceleratorClass &chip,
+                               dataflow::DataflowStyle style);
+
+    /** Scaled-out multi-FDA: @p n identical evenly-split sub-accs. */
+    static Accelerator makeScaledOutFda(const AcceleratorClass &chip,
+                                        dataflow::DataflowStyle style,
+                                        std::size_t n = 2);
+
+    /** MAERI-style RDA: one flexible array with the whole budget. */
+    static Accelerator makeRda(const AcceleratorClass &chip);
+
+    /**
+     * HDA with explicit partitioning. @p styles, @p pe_split and
+     * @p bw_split must have equal arity; splits must sum to the chip
+     * budget (fatal otherwise).
+     */
+    static Accelerator makeHda(const AcceleratorClass &chip,
+                               std::vector<dataflow::DataflowStyle>
+                                   styles,
+                               std::vector<std::uint64_t> pe_split,
+                               std::vector<double> bw_split);
+
+    const std::string &name() const { return accName; }
+    AcceleratorKind kind() const { return accKind; }
+    const std::vector<SubAccelerator> &subAccs() const { return subs; }
+    std::size_t numSubAccs() const { return subs.size(); }
+    const AcceleratorClass &chip() const { return chipClass; }
+    std::uint64_t globalBufferBytes() const
+    {
+        return chipClass.globalBufferBytes;
+    }
+
+    /**
+     * Cost-model resource view of sub-accelerator @p idx: its PE and
+     * bandwidth share plus an even share of the global buffer.
+     */
+    cost::SubAccResources resources(std::size_t idx) const;
+
+  private:
+    std::string accName;
+    AcceleratorKind accKind;
+    std::vector<SubAccelerator> subs;
+    AcceleratorClass chipClass;
+
+    void validate() const;
+};
+
+} // namespace herald::accel
+
+#endif // HERALD_ACCEL_ACCELERATOR_HH

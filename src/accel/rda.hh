@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Layer evaluation on sub-accelerators, including the MAERI-style RDA
+ * overhead model.
+ *
+ * RDAs reconfigure to the best mapping per layer, so a flexible
+ * sub-accelerator evaluates all dataflow styles and keeps the best.
+ * That flexibility is paid for with (i) a flexible-interconnect
+ * energy tax on on-chip activity — calibrated to the paper's
+ * measurement that MAERI needs ~11.7% more energy than an NVDLA-style
+ * FDA on average — and (ii) a per-layer reconfiguration penalty in
+ * latency and energy (configuring the distribution/reduction trees
+ * scales with the PE count).
+ */
+
+#ifndef HERALD_ACCEL_RDA_HH
+#define HERALD_ACCEL_RDA_HH
+
+#include "accel/accelerator.hh"
+#include "cost/cost_model.hh"
+#include "dataflow/style.hh"
+#include "dnn/layer.hh"
+
+namespace herald::accel
+{
+
+/** RDA overhead coefficients (see file comment for calibration). */
+struct RdaOverheads
+{
+    /** Multiplier on on-chip dynamic energy (MAC/L1/L2/NoC). */
+    double interconnectEnergyTax = 1.18;
+    /** Reconfiguration latency: base + perPe * numPes cycles. */
+    double reconfigBaseCycles = 512.0;
+    double reconfigCyclesPerPe = 0.0625;
+    /** Reconfiguration energy per PE (switch/VN setup), MAC units. */
+    double reconfigEnergyPerPe = 4.0;
+};
+
+/** A layer cost together with the dataflow chosen to achieve it. */
+struct StyledLayerCost
+{
+    dataflow::DataflowStyle style = dataflow::DataflowStyle::NVDLA;
+    cost::LayerCost cost;
+};
+
+/**
+ * Evaluate @p layer on sub-accelerator @p sub_idx of @p acc: fixed
+ * sub-accelerators use their style directly; flexible ones pick the
+ * minimum-EDP style and pay the RDA overheads.
+ */
+StyledLayerCost evaluateOnSubAcc(cost::CostModel &model,
+                                 const Accelerator &acc,
+                                 std::size_t sub_idx,
+                                 const dnn::Layer &layer,
+                                 const RdaOverheads &rda =
+                                     RdaOverheads{});
+
+} // namespace herald::accel
+
+#endif // HERALD_ACCEL_RDA_HH

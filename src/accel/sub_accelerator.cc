@@ -1,0 +1,20 @@
+#include "accel/sub_accelerator.hh"
+
+#include <sstream>
+
+namespace herald::accel
+{
+
+std::string
+toString(const SubAccelerator &sub)
+{
+    std::ostringstream oss;
+    if (sub.flexible)
+        oss << "rda";
+    else
+        oss << dataflow::shortName(sub.style);
+    oss << ":" << sub.numPes << "pe/" << sub.bwGBps << "GBps";
+    return oss.str();
+}
+
+} // namespace herald::accel

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A sub-accelerator: one fixed-dataflow PE array inside an
+ * accelerator chip (Definition 1 of the paper: a tuple of dataflow
+ * style, PE share and global-NoC bandwidth share).
+ */
+
+#ifndef HERALD_ACCEL_SUB_ACCELERATOR_HH
+#define HERALD_ACCEL_SUB_ACCELERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/style.hh"
+
+namespace herald::accel
+{
+
+/** One (dataflow, PEs, bandwidth) sub-accelerator tuple. */
+struct SubAccelerator
+{
+    dataflow::DataflowStyle style = dataflow::DataflowStyle::NVDLA;
+    std::uint64_t numPes = 0;
+    double bwGBps = 0.0;
+    /**
+     * Reconfigurable sub-array: picks the best of all styles per
+     * layer (used to model MAERI-style RDAs); @c style is ignored.
+     */
+    bool flexible = false;
+};
+
+/** Display label, e.g. "nvdla:4096pe/64GBps" or "rda:4096pe". */
+std::string toString(const SubAccelerator &sub);
+
+} // namespace herald::accel
+
+#endif // HERALD_ACCEL_SUB_ACCELERATOR_HH

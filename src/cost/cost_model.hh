@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Analytical latency/energy estimation for one layer on one (sub-)
+ * accelerator — the MAESTRO-style cost model Herald builds on
+ * (paper Sec. IV-B), extended with: global-buffer residency for
+ * inter-layer activation forwarding (execution-model steps 3/7),
+ * static energy for the full PE array (dark-silicon cost), and a
+ * per-layer context-change penalty knob.
+ *
+ * Latency uses a double-buffered roofline: compute, NoC and DRAM
+ * phases overlap, so a layer takes the maximum of the three plus the
+ * initial tile fill. Energy is activity counts times the EnergyModel
+ * coefficients.
+ */
+
+#ifndef HERALD_COST_COST_MODEL_HH
+#define HERALD_COST_COST_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cost/energy_model.hh"
+#include "cost/reuse_analysis.hh"
+#include "dataflow/mapper.hh"
+#include "dataflow/style.hh"
+#include "dnn/layer.hh"
+
+namespace herald::cost
+{
+
+/** Hardware resources of the (sub-)accelerator running the layer. */
+struct SubAccResources
+{
+    std::uint64_t numPes = 256;    //!< PE count
+    double bwGBps = 32.0;          //!< global NoC bandwidth share
+    double dramBwGBps = 0.0;       //!< DRAM bandwidth (0 => == bwGBps)
+    std::uint64_t l2Bytes = 1ULL << 20; //!< global-buffer share
+    std::uint64_t l1Bytes = 512;   //!< per-PE register file
+    double clockGHz = 1.0;         //!< PE clock
+
+    /**
+     * Local buffer-to-array interconnect width in bytes/cycle; 0
+     * derives it from the array size (a quarter word per PE per
+     * cycle, like NVDLA's 2048-bit CBUF port on a 1024-MAC core).
+     * The *global* NoC share (bwGBps) — the resource Herald
+     * partitions — bounds the buffer-fill (DRAM-path) traffic.
+     */
+    double localBwBytesPerCycle = 0.0;
+
+    double
+    effectiveDramBw() const
+    {
+        return dramBwGBps > 0.0 ? dramBwGBps : bwGBps;
+    }
+
+    double
+    effectiveLocalBw() const
+    {
+        if (localBwBytesPerCycle > 0.0)
+            return localBwBytesPerCycle;
+        double derived = static_cast<double>(numPes) / 4.0;
+        return derived < 16.0 ? 16.0 : derived;
+    }
+};
+
+/** Behavioral knobs of the cost model. */
+struct CostOptions
+{
+    /** Fixed per-layer control/configuration overhead (cycles). */
+    double layerOverheadCycles = 500.0;
+    /**
+     * Activations are forwarded producer->consumer through the global
+     * buffer when they fit (paper execution model step 7); when off,
+     * every input is (re)fetched from DRAM.
+     */
+    bool forwardActivationsThroughL2 = true;
+    /** Charge static energy for the sub-accelerator's PEs. */
+    bool staticEnergy = true;
+};
+
+/** Full cost breakdown for one layer on one sub-accelerator. */
+struct LayerCost
+{
+    // Headline metrics.
+    double cycles = 0.0;     //!< end-to-end layer latency in cycles
+    double latencySec = 0.0; //!< cycles / clock
+    double energyUnits = 0.0; //!< total energy in MAC units
+    double energyMj = 0.0;   //!< total energy in millijoules
+
+    /** Energy-delay product in (mJ x s). */
+    double edp() const { return latencySec * energyMj; }
+
+    // Roofline components (cycles).
+    double computeCycles = 0.0;
+    double nocCycles = 0.0;
+    double dramCycles = 0.0;
+
+    // Utilization.
+    double mappingUtil = 0.0;   //!< spatially mapped PEs / all PEs
+    double edgeUtil = 0.0;      //!< true MACs / padded MACs
+    double effectiveUtil = 0.0; //!< product of the two
+
+    // Volumes (bytes).
+    double l2ReadBytes = 0.0;
+    double l2WriteBytes = 0.0;
+    double nocBytes = 0.0;
+    double dramBytes = 0.0;
+
+    // Scheduler inputs.
+    std::uint64_t l2FootprintBytes = 0; //!< staging requirement
+    std::uint64_t macs = 0;
+
+    // Energy breakdown (MAC units).
+    double macEnergy = 0.0;
+    double l1EnergyTotal = 0.0;
+    double l2EnergyTotal = 0.0;
+    double nocEnergyTotal = 0.0;
+    double dramEnergyTotal = 0.0;
+    double staticEnergyTotal = 0.0;
+};
+
+/**
+ * Stateless evaluator plus a memoization cache. Evaluation is a pure
+ * function of (layer shape, style, resources), so results are cached
+ * under that key — the DSE issues millions of queries for repeated
+ * layers (batches, repeated blocks).
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(EnergyModel energy = EnergyModel{},
+                       CostOptions options = CostOptions{});
+
+    /** Evaluate @p layer under @p style on @p res (cached). */
+    const LayerCost &evaluate(const dnn::Layer &layer,
+                              dataflow::DataflowStyle style,
+                              const SubAccResources &res);
+
+    /** Uncached evaluation of a prepared mapping. */
+    LayerCost evaluateMapping(const dataflow::Mapping &mapping,
+                              const SubAccResources &res) const;
+
+    const EnergyModel &energyModel() const { return energy; }
+    const CostOptions &options() const { return opts; }
+
+    /** Number of distinct (layer, style, resource) keys cached. */
+    std::size_t cacheSize() const { return cache.size(); }
+    void clearCache() { cache.clear(); }
+
+  private:
+    EnergyModel energy;
+    CostOptions opts;
+    std::unordered_map<std::uint64_t, LayerCost> cache;
+
+    std::uint64_t cacheKey(const dnn::Layer &layer,
+                           dataflow::DataflowStyle style,
+                           const SubAccResources &res) const;
+};
+
+} // namespace herald::cost
+
+#endif // HERALD_COST_COST_MODEL_HH

@@ -1,0 +1,20 @@
+#include "cost/energy_model.hh"
+
+#include "util/logging.hh"
+
+namespace herald::cost
+{
+
+void
+validate(const EnergyModel &model)
+{
+    if (model.macEnergy <= 0.0)
+        util::fatal("EnergyModel: macEnergy must be positive");
+    if (model.l1Energy < 0.0 || model.l2Energy < 0.0 ||
+        model.dramEnergy < 0.0 || model.nocEnergyPerWord < 0.0 ||
+        model.staticPerPeCycle < 0.0 || model.unitPicojoules <= 0.0) {
+        util::fatal("EnergyModel: negative coefficient");
+    }
+}
+
+} // namespace herald::cost

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-access energy coefficients for the analytical cost model.
+ *
+ * Values are relative to one MAC, following the MAESTRO / Eyeriss
+ * energy tables (register file ~1.7x, global buffer ~18.6x, DRAM
+ * ~222x a MAC). A single scale factor converts relative units to
+ * picojoules; the defaults correspond to a 16-bit MAC in a 28nm-class
+ * process, matching the paper's CAD-library setting. Absolute numbers
+ * are not expected to match the authors' testbed — only ratios are
+ * compared (see EXPERIMENTS.md).
+ */
+
+#ifndef HERALD_COST_ENERGY_MODEL_HH
+#define HERALD_COST_ENERGY_MODEL_HH
+
+namespace herald::cost
+{
+
+/** Energy coefficients in units of one MAC operation. */
+struct EnergyModel
+{
+    double macEnergy = 1.0;        //!< one multiply-accumulate
+    double l1Energy = 1.68;        //!< one register-file access
+    double l2Energy = 18.61;       //!< one global-buffer access
+    double dramEnergy = 222.0;     //!< one DRAM word access
+    double nocEnergyPerWord = 0.8; //!< word delivery at the ref array
+    double staticPerPeCycle = 0.02; //!< leakage+clock per PE per cycle
+
+    /**
+     * NoC delivery energy scales with the array diameter (wire
+     * length grows with sqrt(PEs)); nocEnergyPerWord is calibrated at
+     * this reference PE count. This is why sub-accelerators (smaller
+     * arrays) move data more cheaply than a monolithic array of the
+     * same total size — one of the HDA energy advantages the paper
+     * reports.
+     */
+    double nocHopReferencePes = 1024.0;
+
+    double unitPicojoules = 0.4;   //!< pJ per MAC unit (28nm, 16-bit)
+
+    /** Per-word NoC energy on an array of @p num_pes PEs. */
+    double
+    nocWordEnergy(double num_pes) const
+    {
+        if (nocHopReferencePes <= 0.0)
+            return nocEnergyPerWord;
+        double scale = num_pes / nocHopReferencePes;
+        return nocEnergyPerWord * (scale > 0.0 ? __builtin_sqrt(scale)
+                                               : 1.0);
+    }
+
+    /** Convert relative energy units to millijoules. */
+    double
+    toMillijoules(double units) const
+    {
+        return units * unitPicojoules * 1e-9;
+    }
+};
+
+/** Validate coefficients (all non-negative, mac > 0); fatal() if not. */
+void validate(const EnergyModel &model);
+
+} // namespace herald::cost
+
+#endif // HERALD_COST_ENERGY_MODEL_HH

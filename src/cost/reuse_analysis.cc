@@ -1,0 +1,107 @@
+#include "cost/reuse_analysis.hh"
+
+#include "util/logging.hh"
+
+namespace herald::cost
+{
+
+namespace
+{
+
+using dataflow::Dim;
+using dataflow::LoopLevel;
+using dataflow::Mapping;
+using dataflow::TensorKind;
+
+} // namespace
+
+std::uint64_t
+refetchFactor(const dnn::CanonicalConv &conv, TensorKind tensor,
+              const std::vector<LoopLevel> &outer_loops)
+{
+    std::uint64_t factor = 1;
+    bool replaced = false;
+    for (auto it = outer_loops.rbegin(); it != outer_loops.rend();
+         ++it) {
+        bool relevant = dataflow::tensorUsesDim(conv, tensor, it->dim);
+        if (relevant) {
+            factor *= it->trips;
+            replaced = true;
+        } else if (replaced) {
+            factor *= it->trips;
+        }
+    }
+    return factor;
+}
+
+ReuseReport
+analyzeMapping(const Mapping &mapping)
+{
+    const dnn::CanonicalConv &conv = mapping.layer();
+    ReuseReport report;
+
+    report.spatialSize = mapping.spatialSize();
+
+    const std::vector<LoopLevel> outer = mapping.outerLoops();
+    report.outerIters = 1;
+    for (const LoopLevel &l : outer)
+        report.outerIters *= l.trips;
+
+    const dataflow::RegionExtents inner = mapping.innerExtents();
+    report.innerMacsPerPe = 1;
+    for (std::size_t d = 0; d < dataflow::kNumDims; ++d)
+        report.innerMacsPerPe *= inner.extent[d];
+
+    // Unrolled reduction width: spatial loops over C/R/S feed a
+    // spatial accumulator (adder tree / inter-PE forwarding).
+    report.spatialReduction = 1;
+    for (const LoopLevel &l : mapping.levels()) {
+        if (l.kind != dataflow::LoopKind::Spatial)
+            continue;
+        if (l.dim == Dim::C || l.dim == Dim::R || l.dim == Dim::S)
+            report.spatialReduction *= l.trips;
+    }
+
+    // Temporal accumulation run: innermost consecutive reduction
+    // loops of the per-PE nest keep the partial sum in the
+    // accumulator register.
+    report.innerAccumRun = 1;
+    {
+        const std::vector<LoopLevel> &levels = mapping.levels();
+        for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+            if (it->kind == dataflow::LoopKind::Spatial)
+                break;
+            if (it->dim == Dim::C || it->dim == Dim::R ||
+                it->dim == Dim::S) {
+                report.innerAccumRun *= it->trips;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const dataflow::RegionExtents array = mapping.arrayExtents();
+    const dataflow::RegionExtents whole = mapping.wholeExtents();
+
+    for (std::size_t t = 0; t < 3; ++t) {
+        TensorKind kind = static_cast<TensorKind>(t);
+        TensorTraffic &traffic = report.tensor[t];
+        traffic.unionTileElems =
+            dataflow::tensorFootprint(conv, kind, array);
+        traffic.sumTileElems =
+            dataflow::tensorFootprint(conv, kind, inner) *
+            report.spatialSize;
+        traffic.wholeElems =
+            dataflow::tensorFootprint(conv, kind, whole);
+        traffic.refetch = refetchFactor(conv, kind, outer);
+
+        if (traffic.unionTileElems == 0 || traffic.refetch == 0) {
+            util::panic("reuse analysis: degenerate traffic for ",
+                        dataflow::toString(kind));
+        }
+    }
+
+    return report;
+}
+
+} // namespace herald::cost

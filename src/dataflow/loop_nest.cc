@@ -1,0 +1,301 @@
+#include "dataflow/loop_nest.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace herald::dataflow
+{
+
+const char *
+toString(Dim dim)
+{
+    switch (dim) {
+      case Dim::K:
+        return "K";
+      case Dim::C:
+        return "C";
+      case Dim::OY:
+        return "Y'";
+      case Dim::OX:
+        return "X'";
+      case Dim::R:
+        return "R";
+      case Dim::S:
+        return "S";
+    }
+    util::panic("unknown Dim");
+}
+
+const char *
+toString(TensorKind t)
+{
+    switch (t) {
+      case TensorKind::Input:
+        return "Input";
+      case TensorKind::Weight:
+        return "Weight";
+      case TensorKind::Output:
+        return "Output";
+    }
+    util::panic("unknown TensorKind");
+}
+
+std::uint64_t
+dimExtent(const dnn::CanonicalConv &conv, Dim d)
+{
+    switch (d) {
+      case Dim::K:
+        return conv.k;
+      case Dim::C:
+        return conv.c;
+      case Dim::OY:
+        return conv.oy;
+      case Dim::OX:
+        return conv.ox;
+      case Dim::R:
+        return conv.r;
+      case Dim::S:
+        return conv.s;
+    }
+    util::panic("unknown Dim");
+}
+
+bool
+tensorUsesDim(const dnn::CanonicalConv &conv, TensorKind tensor, Dim dim)
+{
+    switch (tensor) {
+      case TensorKind::Input:
+        // Input rows/cols slide with both the output index and the
+        // filter tap; the channel is C, or K for depthwise layers.
+        switch (dim) {
+          case Dim::C:
+            return !conv.depthwise;
+          case Dim::K:
+            return conv.depthwise;
+          case Dim::OY:
+          case Dim::OX:
+          case Dim::R:
+          case Dim::S:
+            return true;
+        }
+        break;
+      case TensorKind::Weight:
+        switch (dim) {
+          case Dim::K:
+          case Dim::R:
+          case Dim::S:
+            return true;
+          case Dim::C:
+            return !conv.depthwise;
+          case Dim::OY:
+          case Dim::OX:
+            return false;
+        }
+        break;
+      case TensorKind::Output:
+        switch (dim) {
+          case Dim::K:
+          case Dim::OY:
+          case Dim::OX:
+            return true;
+          case Dim::C:
+          case Dim::R:
+          case Dim::S:
+            return false;
+        }
+        break;
+    }
+    util::panic("unknown tensor/dim");
+}
+
+std::uint64_t
+tensorFootprint(const dnn::CanonicalConv &conv, TensorKind tensor,
+                const RegionExtents &ext)
+{
+    switch (tensor) {
+      case TensorKind::Input: {
+        std::uint64_t ch = conv.depthwise ? ext[Dim::K] : ext[Dim::C];
+        // Halo: (oy_extent - 1) * stride + r_extent rows, clamped by
+        // nothing (padded extents may exceed the true activation; the
+        // padding is part of the modeled cost).
+        std::uint64_t rows = 1, cols = 1;
+        if (ext[Dim::OY] > 0) {
+            rows = (ext[Dim::OY] - 1) * conv.strideNum / conv.strideDen +
+                   ext[Dim::R];
+        }
+        if (ext[Dim::OX] > 0) {
+            cols = (ext[Dim::OX] - 1) * conv.strideNum / conv.strideDen +
+                   ext[Dim::S];
+        }
+        return ch * rows * cols;
+      }
+      case TensorKind::Weight: {
+        std::uint64_t ch = conv.depthwise
+                               ? ext[Dim::K]
+                               : ext[Dim::K] * ext[Dim::C];
+        return ch * ext[Dim::R] * ext[Dim::S];
+      }
+      case TensorKind::Output:
+        return ext[Dim::K] * ext[Dim::OY] * ext[Dim::OX];
+    }
+    util::panic("unknown TensorKind");
+}
+
+Mapping::Mapping(const dnn::CanonicalConv &layer,
+                 std::vector<LoopLevel> levels, std::uint64_t num_pes)
+    : conv(layer), nest(std::move(levels)), pes(num_pes)
+{
+    validate();
+}
+
+void
+Mapping::validate() const
+{
+    if (nest.empty())
+        util::fatal("mapping: empty loop nest");
+    if (pes == 0)
+        util::fatal("mapping: zero PEs");
+
+    for (const LoopLevel &l : nest) {
+        if (l.trips == 0)
+            util::fatal("mapping: loop with zero trips over ",
+                        dataflow::toString(l.dim));
+    }
+
+    // Padded extents must cover the layer.
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+        Dim dim = static_cast<Dim>(d);
+        std::uint64_t padded = paddedExtent(dim);
+        std::uint64_t true_ext = dimExtent(conv, dim);
+        if (padded < true_ext) {
+            util::fatal("mapping: dim ", dataflow::toString(dim),
+                        " covers ",
+                        padded, " < layer extent ", true_ext);
+        }
+    }
+
+    if (spatialSize() > pes) {
+        util::fatal("mapping: spatial size ", spatialSize(),
+                    " exceeds PE count ", pes);
+    }
+
+    if (conv.depthwise && paddedExtent(Dim::C) != 1) {
+        util::fatal("mapping: depthwise layer must not tile C");
+    }
+}
+
+std::uint64_t
+Mapping::spatialSize() const
+{
+    std::uint64_t total = 1;
+    for (const LoopLevel &l : nest) {
+        if (l.kind == LoopKind::Spatial)
+            total *= l.trips;
+    }
+    return total;
+}
+
+std::uint64_t
+Mapping::paddedExtent(Dim d) const
+{
+    std::uint64_t total = 1;
+    for (const LoopLevel &l : nest) {
+        if (l.dim == d)
+            total *= l.trips;
+    }
+    return total;
+}
+
+std::size_t
+Mapping::innerStart() const
+{
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < nest.size(); ++i) {
+        if (nest[i].kind == LoopKind::Spatial)
+            start = i + 1;
+    }
+    return start;
+}
+
+RegionExtents
+Mapping::innerExtents() const
+{
+    RegionExtents ext;
+    for (std::size_t i = innerStart(); i < nest.size(); ++i)
+        ext.multiply(nest[i].dim, nest[i].trips);
+    return ext;
+}
+
+RegionExtents
+Mapping::arrayExtents() const
+{
+    RegionExtents ext = innerExtents();
+    for (const LoopLevel &l : nest) {
+        if (l.kind == LoopKind::Spatial)
+            ext.multiply(l.dim, l.trips);
+    }
+    return ext;
+}
+
+RegionExtents
+Mapping::wholeExtents() const
+{
+    RegionExtents ext;
+    for (const LoopLevel &l : nest)
+        ext.multiply(l.dim, l.trips);
+    return ext;
+}
+
+std::vector<LoopLevel>
+Mapping::outerLoops() const
+{
+    std::vector<LoopLevel> outer;
+    std::size_t start = innerStart();
+    for (std::size_t i = 0; i < start; ++i) {
+        if (nest[i].kind == LoopKind::Temporal)
+            outer.push_back(nest[i]);
+    }
+    return outer;
+}
+
+std::uint64_t
+Mapping::paddedMacs() const
+{
+    RegionExtents ext = wholeExtents();
+    std::uint64_t total = 1;
+    for (std::size_t d = 0; d < kNumDims; ++d)
+        total *= ext.extent[d];
+    return total;
+}
+
+double
+Mapping::mappingUtilization() const
+{
+    return static_cast<double>(spatialSize()) / static_cast<double>(pes);
+}
+
+double
+Mapping::edgeUtilization() const
+{
+    return static_cast<double>(conv.macs()) /
+           static_cast<double>(paddedMacs());
+}
+
+std::string
+Mapping::toString() const
+{
+    std::ostringstream oss;
+    int indent = 0;
+    for (const LoopLevel &l : nest) {
+        for (int i = 0; i < indent; ++i)
+            oss << ' ';
+        oss << (l.kind == LoopKind::Spatial ? "pfor " : "for ")
+            << dataflow::toString(l.dim) << " in 0.." << l.trips << "\n";
+        ++indent;
+    }
+    return oss.str();
+}
+
+} // namespace herald::dataflow

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Loop-nest representation of dataflows and mappings (paper Fig. 4).
+ *
+ * A Mapping is an ordered (outer-to-inner) list of loop levels over
+ * the six canonical convolution dimensions. Each level is temporal
+ * (sequenced) or spatial (a `pfor` unrolled across PEs) and stores its
+ * trip count. The product of trip counts over a dimension is the
+ * padded extent of that dimension; it must cover the layer's true
+ * extent (ceil-division padding models edge underutilization).
+ */
+
+#ifndef HERALD_DATAFLOW_LOOP_NEST_HH
+#define HERALD_DATAFLOW_LOOP_NEST_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace herald::dataflow
+{
+
+/** Canonical convolution dimensions (output-centric). */
+enum class Dim : std::uint8_t
+{
+    K = 0,  //!< output channels
+    C = 1,  //!< reduction (input) channels
+    OY = 2, //!< output rows
+    OX = 3, //!< output columns
+    R = 4,  //!< filter rows
+    S = 5,  //!< filter columns
+};
+
+constexpr std::size_t kNumDims = 6;
+
+/** Short dimension name ("K", "C", "Y'", "X'", "R", "S"). */
+const char *toString(Dim dim);
+
+/** Whether the loop level is sequenced or unrolled across PEs. */
+enum class LoopKind : std::uint8_t
+{
+    Temporal,
+    Spatial,
+};
+
+/** One level of the loop nest. */
+struct LoopLevel
+{
+    Dim dim = Dim::K;
+    std::uint64_t trips = 1; //!< iteration count of this level
+    LoopKind kind = LoopKind::Temporal;
+};
+
+/** Per-dimension extents of a loop-nest region. */
+struct RegionExtents
+{
+    std::array<std::uint64_t, kNumDims> extent{1, 1, 1, 1, 1, 1};
+
+    std::uint64_t
+    operator[](Dim d) const
+    {
+        return extent[static_cast<std::size_t>(d)];
+    }
+
+    void
+    multiply(Dim d, std::uint64_t trips)
+    {
+        extent[static_cast<std::size_t>(d)] *= trips;
+    }
+};
+
+/**
+ * A mapping: a complete, concrete loop nest for one layer on one PE
+ * array. Construction validates structural invariants (see validate()).
+ */
+class Mapping
+{
+  public:
+    /**
+     * @param layer canonical form of the mapped layer
+     * @param levels loop levels, outer to inner
+     * @param num_pes PE count of the target (sub-)accelerator
+     */
+    Mapping(const dnn::CanonicalConv &layer,
+            std::vector<LoopLevel> levels, std::uint64_t num_pes);
+
+    const dnn::CanonicalConv &layer() const { return conv; }
+    const std::vector<LoopLevel> &levels() const { return nest; }
+    std::uint64_t numPes() const { return pes; }
+
+    /** Product of spatial trip counts == PEs the mapping occupies. */
+    std::uint64_t spatialSize() const;
+
+    /** Padded extent of dimension @p d (>= true extent). */
+    std::uint64_t paddedExtent(Dim d) const;
+
+    /** Extents over the temporal loops below the last spatial loop. */
+    RegionExtents innerExtents() const;
+    /** Extents over spatial loops plus the inner temporal loops. */
+    RegionExtents arrayExtents() const;
+    /** Extents over the whole nest (padded layer extents). */
+    RegionExtents wholeExtents() const;
+
+    /**
+     * Temporal loops above/between spatial levels, outer-to-inner:
+     * these sequence array tiles through the global buffer.
+     */
+    std::vector<LoopLevel> outerLoops() const;
+
+    /** MACs when padded extents are executed (>= true MACs). */
+    std::uint64_t paddedMacs() const;
+
+    /** Fraction of the PE array the mapping occupies, in (0, 1]. */
+    double mappingUtilization() const;
+
+    /** True MACs / padded MACs: edge (ceil-padding) efficiency. */
+    double edgeUtilization() const;
+
+    /** Loop nest rendered in the paper's for/pfor notation. */
+    std::string toString() const;
+
+  private:
+    dnn::CanonicalConv conv;
+    std::vector<LoopLevel> nest;
+    std::uint64_t pes;
+
+    /** Index one past the last spatial level (== nest.size() if none). */
+    std::size_t innerStart() const;
+
+    void validate() const;
+};
+
+/**
+ * True extent of dimension @p d in the canonical layer @p conv.
+ */
+std::uint64_t dimExtent(const dnn::CanonicalConv &conv, Dim d);
+
+/**
+ * Footprint in elements of one tensor over a region with the given
+ * extents, honoring the input halo (sliding window) and the depthwise
+ * channel coupling.
+ */
+enum class TensorKind : std::uint8_t
+{
+    Input = 0,
+    Weight = 1,
+    Output = 2,
+};
+
+const char *toString(TensorKind t);
+
+std::uint64_t tensorFootprint(const dnn::CanonicalConv &conv,
+                              TensorKind tensor,
+                              const RegionExtents &extents);
+
+/**
+ * Whether @p tensor 's address depends on @p dim for layer @p conv
+ * (e.g. Input does not depend on K, except for depthwise layers where
+ * the input channel follows K).
+ */
+bool tensorUsesDim(const dnn::CanonicalConv &conv, TensorKind tensor,
+                   Dim dim);
+
+} // namespace herald::dataflow
+
+#endif // HERALD_DATAFLOW_LOOP_NEST_HH

@@ -1,0 +1,36 @@
+#include "dataflow/style.hh"
+
+#include "util/logging.hh"
+
+namespace herald::dataflow
+{
+
+const char *
+toString(DataflowStyle style)
+{
+    switch (style) {
+      case DataflowStyle::NVDLA:
+        return "NVDLA";
+      case DataflowStyle::ShiDiannao:
+        return "Shi-diannao";
+      case DataflowStyle::Eyeriss:
+        return "Eyeriss";
+    }
+    util::panic("unknown DataflowStyle");
+}
+
+const char *
+shortName(DataflowStyle style)
+{
+    switch (style) {
+      case DataflowStyle::NVDLA:
+        return "nvdla";
+      case DataflowStyle::ShiDiannao:
+        return "shi";
+      case DataflowStyle::Eyeriss:
+        return "eyeriss";
+    }
+    util::panic("unknown DataflowStyle");
+}
+
+} // namespace herald::dataflow

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The dataflow styles evaluated in the paper (Table III).
+ */
+
+#ifndef HERALD_DATAFLOW_STYLE_HH
+#define HERALD_DATAFLOW_STYLE_HH
+
+#include <array>
+#include <string>
+
+namespace herald::dataflow
+{
+
+/**
+ * A dataflow style fixes the loop order and which dimensions are
+ * parallelized; the mapper later binds trip counts per layer.
+ *
+ *  - NVDLA: weight-stationary; spatial over output and input channels
+ *    (K x C) with spatial accumulation of partial sums across C.
+ *  - ShiDiannao: output-stationary; spatial over output rows and
+ *    columns (Y' x X') with temporal accumulation in each PE.
+ *  - Eyeriss: row-stationary; spatial over output rows and filter rows
+ *    (Y' x R) with spatial accumulation across R.
+ */
+enum class DataflowStyle : std::uint8_t
+{
+    NVDLA = 0,
+    ShiDiannao = 1,
+    Eyeriss = 2,
+};
+
+constexpr std::size_t kNumStyles = 3;
+
+constexpr std::array<DataflowStyle, kNumStyles> kAllStyles{
+    DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+    DataflowStyle::Eyeriss};
+
+/** Full display name ("NVDLA", "Shi-diannao", "Eyeriss"). */
+const char *toString(DataflowStyle style);
+
+/** Compact name for labels ("nvdla", "shi", "eyeriss"). */
+const char *shortName(DataflowStyle style);
+
+} // namespace herald::dataflow
+
+#endif // HERALD_DATAFLOW_STYLE_HH

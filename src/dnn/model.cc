@@ -1,0 +1,60 @@
+#include "dnn/model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace herald::dnn
+{
+
+Model::Model(std::string name, std::vector<Layer> layers)
+    : modelName(std::move(name)), modelLayers(std::move(layers))
+{
+}
+
+void
+Model::addLayer(Layer layer)
+{
+    modelLayers.push_back(std::move(layer));
+}
+
+const Layer &
+Model::layer(std::size_t idx) const
+{
+    if (idx >= modelLayers.size()) {
+        util::panic("model '", modelName, "': layer index ", idx,
+                    " out of range (", modelLayers.size(), " layers)");
+    }
+    return modelLayers[idx];
+}
+
+std::uint64_t
+Model::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const Layer &l : modelLayers)
+        total += l.macs();
+    return total;
+}
+
+double
+Model::maxChannelActivationRatio() const
+{
+    double best = 0.0;
+    for (const Layer &l : modelLayers)
+        best = std::max(best, l.channelActivationRatio());
+    return best;
+}
+
+double
+Model::minChannelActivationRatio() const
+{
+    if (modelLayers.empty())
+        return 0.0;
+    double best = modelLayers.front().channelActivationRatio();
+    for (const Layer &l : modelLayers)
+        best = std::min(best, l.channelActivationRatio());
+    return best;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A DNN model is a named, dependence-ordered sequence of layers.
+ *
+ * The paper's scheduler heuristics rely on the observation that layers
+ * form a mostly-linear dependence chain within a model and are fully
+ * independent across models (Sec. IV-D). We therefore represent each
+ * model as a linear chain; residual/skip edges do not change the chain
+ * order and carry no compute, so they are not materialized.
+ */
+
+#ifndef HERALD_DNN_MODEL_HH
+#define HERALD_DNN_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hh"
+
+namespace herald::dnn
+{
+
+/** A named, dependence-ordered DNN. */
+class Model
+{
+  public:
+    Model() = default;
+    explicit Model(std::string name) : modelName(std::move(name)) {}
+    Model(std::string name, std::vector<Layer> layers);
+
+    const std::string &name() const { return modelName; }
+
+    /** Append a layer at the end of the dependence chain. */
+    void addLayer(Layer layer);
+
+    const std::vector<Layer> &layers() const { return modelLayers; }
+    std::size_t numLayers() const { return modelLayers.size(); }
+    const Layer &layer(std::size_t idx) const;
+
+    /** Sum of MACs over all layers. */
+    std::uint64_t totalMacs() const;
+
+    /** Largest / smallest channel-activation ratio (Table I). */
+    double maxChannelActivationRatio() const;
+    double minChannelActivationRatio() const;
+
+  private:
+    std::string modelName;
+    std::vector<Layer> modelLayers;
+};
+
+} // namespace herald::dnn
+
+#endif // HERALD_DNN_MODEL_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Model zoo: builders for every DNN the paper's workloads use
+ * (Tables I and II).
+ *
+ * Geometries follow the published architectures. Two AR/VR models have
+ * no public layer tables (Br-Q HandposeNet, Focal-Length DepthNet);
+ * they are reconstructed from their papers' text so that the extreme
+ * channel-activation ratios reported in Table I and Sec. V-B hold
+ * (DepthNet FC2 reaches ~16.8M-way channel parallelism). GNMT LSTM
+ * steps are expressed as GEMMs over the token dimension. All
+ * substitutions are documented in DESIGN.md.
+ */
+
+#ifndef HERALD_DNN_MODEL_ZOO_HH
+#define HERALD_DNN_MODEL_ZOO_HH
+
+#include "dnn/model.hh"
+
+namespace herald::dnn
+{
+
+/** ResNet50 image classification, 224x224 input (He et al.). */
+Model resnet50();
+
+/** ResNet34 backbone only (used by SSD-ResNet34), parametric input. */
+Model resnet34Backbone(std::uint64_t input_hw);
+
+/** MobileNetV1, 224x224 input (Howard et al.). */
+Model mobileNetV1();
+
+/** MobileNetV2, 224x224 input (Sandler et al.). */
+Model mobileNetV2();
+
+/** UNet biomedical segmentation, 572x572 input (Ronneberger et al.). */
+Model uNet();
+
+/** Br-Q HandposeNet: hand pose from 128x128 depth maps [16]. */
+Model brqHandposeNet();
+
+/** Focal-Length DepthNet: monocular depth estimation [17]. */
+Model focalLengthDepthNet();
+
+/** MLPerf SSD-ResNet34 object detection, 1200x1200 input. */
+Model ssdResnet34();
+
+/** MLPerf SSD-MobileNetV1 object detection, 300x300 input. */
+Model ssdMobileNetV1();
+
+/** MLPerf GNMT translation: 8+8 LSTM layers as token-batched GEMMs. */
+Model gnmt(std::uint64_t tokens = 20);
+
+} // namespace herald::dnn
+
+#endif // HERALD_DNN_MODEL_ZOO_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * AR/VR task models without public layer tables, reconstructed from
+ * their papers (see DESIGN.md "Substitutions"):
+ *
+ *  - Br-Q HandposeNet [16] (Madadi et al.): hand pose recovery from
+ *    128x128 depth crops; a convolutional trunk followed by a deep
+ *    fully-connected regression head. Table I reports channel-
+ *    activation ratios min 0.016 / median 1024 / max 1024, i.e. most
+ *    layers are 1024-wide FCs — the head below realizes that.
+ *
+ *  - Focal-Length DepthNet [17] (He et al.): monocular depth with a
+ *    VGG-style encoder, two 4096-wide FC layers (FC2 is the 16.8M-way
+ *    channel-parallel layer called out in Sec. V-B), and an up-conv
+ *    decoder that restores a 112x112 depth map.
+ */
+
+#include "dnn/model_zoo.hh"
+#include "dnn/models/builder_util.hh"
+
+namespace herald::dnn
+{
+
+Model
+brqHandposeNet()
+{
+    Model m("BrQHandposeNet");
+
+    // Convolutional trunk on a 2-channel (depth + mask) 128x128 crop.
+    std::uint64_t hw = detail::addConvSame(m, "conv1", 32, 2, 128, 5, 2);
+    hw = detail::addConvSame(m, "conv2", 64, 32, hw, 3, 2);
+    hw = detail::addConvSame(m, "conv3", 128, 64, hw, 3, 2);
+    hw = detail::addConvSame(m, "conv4", 256, 128, hw, 3, 2);
+
+    // Regression head: flatten (256 x 8 x 8), then a deep 1024-wide
+    // MLP ending in 3D joint coordinates (21 joints x 3).
+    m.addLayer(makeFullyConnected("fc1", 1024, 256 * hw * hw));
+    m.addLayer(makeFullyConnected("fc2", 1024, 1024));
+    m.addLayer(makeFullyConnected("fc3", 1024, 1024));
+    m.addLayer(makeFullyConnected("fc4", 1024, 1024));
+    m.addLayer(makeFullyConnected("fc5", 1024, 1024));
+    m.addLayer(makeFullyConnected("fc_out", 63, 1024));
+    return m;
+}
+
+Model
+focalLengthDepthNet()
+{
+    Model m("FocalLengthDepthNet");
+
+    // VGG-style encoder on 224x224 RGB.
+    std::uint64_t hw = 224;
+    hw = detail::addConvSame(m, "conv1_1", 64, 3, hw, 3, 1);
+    hw = detail::addConvSame(m, "conv1_2", 64, 64, hw, 3, 2);
+    hw = detail::addConvSame(m, "conv2_1", 128, 64, hw, 3, 1);
+    hw = detail::addConvSame(m, "conv2_2", 128, 128, hw, 3, 2);
+    hw = detail::addConvSame(m, "conv3_1", 256, 128, hw, 3, 1);
+    hw = detail::addConvSame(m, "conv3_2", 256, 256, hw, 3, 2);
+    hw = detail::addConvSame(m, "conv4_1", 512, 256, hw, 3, 1);
+    hw = detail::addConvSame(m, "conv4_2", 512, 512, hw, 3, 2);
+    hw = detail::addConvSame(m, "conv5_1", 512, 512, hw, 3, 1);
+    hw = detail::addConvSame(m, "conv5_2", 512, 512, hw, 3, 2);
+
+    // Bottleneck MLP: fc2 is the 4096x4096 layer whose 16.8M-way
+    // channel parallelism Sec. V-B uses to bound Maelstrom scaling.
+    m.addLayer(makeFullyConnected("fc1", 4096, 512 * hw * hw));
+    m.addLayer(makeFullyConnected("fc2", 4096, 4096));
+    m.addLayer(makeFullyConnected("fc3", 64 * 7 * 7, 4096));
+
+    // Up-convolutional decoder from 7x7x64 to the 112x112 depth map.
+    std::uint64_t dhw = 7;
+    std::uint64_t in_c = 64;
+    const std::uint64_t dec_c[] = {64, 32, 16, 8};
+    for (int level = 0; level < 4; ++level) {
+        std::string tag = std::to_string(level + 1);
+        m.addLayer(makeTransposedConv("up" + tag, dec_c[level], in_c,
+                                      dhw, dhw, 4, 4, 2));
+        dhw *= 2;
+        dhw = detail::addConvSame(m, "dec" + tag, dec_c[level],
+                                  dec_c[level], dhw, 3, 1);
+        in_c = dec_c[level];
+    }
+    m.addLayer(makePointwise("depth_out", 1, in_c, dhw, dhw));
+    return m;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Internal helpers shared by the model-zoo builders. Not part of the
+ * public API (lives under models/ and is only included by zoo .cc
+ * files).
+ */
+
+#ifndef HERALD_DNN_MODELS_BUILDER_UTIL_HH
+#define HERALD_DNN_MODELS_BUILDER_UTIL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/model.hh"
+
+namespace herald::dnn::detail
+{
+
+/** Output spatial size of a SAME-padded conv with @p stride. */
+inline std::uint64_t
+sameOut(std::uint64_t in_hw, std::uint64_t stride)
+{
+    return (in_hw + stride - 1) / stride;
+}
+
+/**
+ * Append a SAME-padded square conv: output is ceil(in_hw/stride).
+ * The Layer stores the pre-padded input size so no separate padding
+ * concept is needed downstream. Returns the output spatial size.
+ */
+inline std::uint64_t
+addConvSame(Model &m, const std::string &name, std::uint64_t k,
+            std::uint64_t c, std::uint64_t in_hw, std::uint64_t r,
+            std::uint64_t stride)
+{
+    std::uint64_t out = sameOut(in_hw, stride);
+    std::uint64_t padded = (out - 1) * stride + r;
+    m.addLayer(makeConv(name, k, c, padded, padded, r, r, stride));
+    return out;
+}
+
+/** Append a SAME-padded depthwise conv; returns output spatial size. */
+inline std::uint64_t
+addDepthwiseSame(Model &m, const std::string &name, std::uint64_t c,
+                 std::uint64_t in_hw, std::uint64_t r,
+                 std::uint64_t stride)
+{
+    std::uint64_t out = sameOut(in_hw, stride);
+    std::uint64_t padded = (out - 1) * stride + r;
+    m.addLayer(makeDepthwise(name, c, padded, padded, r, r, stride));
+    return out;
+}
+
+} // namespace herald::dnn::detail
+
+#endif // HERALD_DNN_MODELS_BUILDER_UTIL_HH

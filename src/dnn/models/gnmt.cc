@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GNMT (Wu et al.) as used by MLPerf inference: an 8-layer LSTM
+ * encoder and 8-layer LSTM decoder with hidden size 1024, plus the
+ * output projection onto a 32K vocabulary.
+ *
+ * Substitution (DESIGN.md): each LSTM layer's recurrence over T tokens
+ * is expressed as one GEMM with the token dimension mapped onto the
+ * output-activation rows (K = 4H gate outputs, C = 2H concatenated
+ * input+hidden, OY = T). This preserves the operational intensity and
+ * the extreme channel-activation ratio that makes RNNs prefer
+ * channel-parallel dataflows (Sec. V-B).
+ */
+
+#include <string>
+
+#include "dnn/model_zoo.hh"
+
+namespace herald::dnn
+{
+
+Model
+gnmt(std::uint64_t tokens)
+{
+    constexpr std::uint64_t hidden = 1024;
+    constexpr std::uint64_t vocab = 32000;
+
+    Model m("GNMT");
+    auto add_lstm_gemm = [&m, tokens](const std::string &name,
+                                      std::uint64_t in_c) {
+        // 4 gates x hidden outputs; input is [x_t ; h_{t-1}].
+        m.addLayer(Layer(name, LayerKind::Conv2D,
+                         LayerShape{4 * hidden, in_c, tokens, 1, 1, 1,
+                                    1, 1}));
+    };
+
+    // Encoder: layer 1 is bidirectional (two passes), then 7 more.
+    add_lstm_gemm("enc1_fwd", 2 * hidden);
+    add_lstm_gemm("enc1_bwd", 2 * hidden);
+    for (int i = 2; i <= 8; ++i)
+        add_lstm_gemm("enc" + std::to_string(i), 2 * hidden);
+
+    // Decoder: 8 layers; layer 1 consumes [y ; attention context].
+    add_lstm_gemm("dec1", 3 * hidden);
+    for (int i = 2; i <= 8; ++i)
+        add_lstm_gemm("dec" + std::to_string(i), 2 * hidden);
+
+    // Attention score/context projection and vocabulary projection.
+    m.addLayer(Layer("attention", LayerKind::Conv2D,
+                     LayerShape{hidden, hidden, tokens, 1, 1, 1, 1, 1}));
+    m.addLayer(Layer("vocab_proj", LayerKind::Conv2D,
+                     LayerShape{vocab, hidden, tokens, 1, 1, 1, 1, 1}));
+    return m;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * MobileNetV1 (Howard et al.) and MobileNetV2 (Sandler et al.) at
+ * 224x224. V2 inverted-residual blocks expand with a pointwise conv
+ * (skipped when the expansion ratio is 1), filter depthwise, and
+ * project pointwise.
+ */
+
+#include <string>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/models/builder_util.hh"
+
+namespace herald::dnn
+{
+
+Model
+mobileNetV1()
+{
+    Model m("MobileNetV1");
+    std::uint64_t hw = detail::addConvSame(m, "conv1", 32, 3, 224, 3, 2);
+
+    struct Sep
+    {
+        std::uint64_t out_c;
+        std::uint64_t stride;
+    };
+    const Sep seps[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2},
+                        {256, 1}, {512, 2}, {512, 1}, {512, 1},
+                        {512, 1}, {512, 1}, {512, 1}, {1024, 2},
+                        {1024, 1}};
+
+    std::uint64_t in_c = 32;
+    int idx = 2;
+    for (const Sep &sep : seps) {
+        std::string tag = std::to_string(idx);
+        hw = detail::addDepthwiseSame(m, "dw" + tag, in_c, hw, 3,
+                                      sep.stride);
+        m.addLayer(makePointwise("pw" + tag, sep.out_c, in_c, hw, hw));
+        in_c = sep.out_c;
+        ++idx;
+    }
+
+    m.addLayer(makeFullyConnected("fc1000", 1000, 1024));
+    return m;
+}
+
+Model
+mobileNetV2()
+{
+    Model m("MobileNetV2");
+    std::uint64_t hw = detail::addConvSame(m, "conv1", 32, 3, 224, 3, 2);
+
+    struct Block
+    {
+        std::uint64_t expand; //!< expansion ratio t
+        std::uint64_t out_c;  //!< output channels c
+        int repeat;           //!< repetitions n
+        std::uint64_t stride; //!< stride of the first repetition
+    };
+    const Block blocks[] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                            {6, 32, 3, 2},  {6, 64, 4, 2},
+                            {6, 96, 3, 1},  {6, 160, 3, 2},
+                            {6, 320, 1, 1}};
+
+    std::uint64_t in_c = 32;
+    int idx = 1;
+    for (const Block &blk : blocks) {
+        for (int rep = 0; rep < blk.repeat; ++rep) {
+            std::string tag = std::to_string(idx);
+            std::uint64_t stride = (rep == 0) ? blk.stride : 1;
+            std::uint64_t mid = in_c * blk.expand;
+            if (blk.expand != 1) {
+                m.addLayer(makePointwise("b" + tag + "_expand", mid,
+                                         in_c, hw, hw));
+            }
+            hw = detail::addDepthwiseSame(m, "b" + tag + "_dw", mid, hw,
+                                          3, stride);
+            m.addLayer(makePointwise("b" + tag + "_project", blk.out_c,
+                                     mid, hw, hw));
+            in_c = blk.out_c;
+            ++idx;
+        }
+    }
+
+    m.addLayer(makePointwise("conv_last", 1280, in_c, hw, hw));
+    m.addLayer(makeFullyConnected("fc1000", 1000, 1280));
+    return m;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * ResNet50 (He et al., CVPR 2016) and the ResNet34 backbone used by
+ * MLPerf SSD-ResNet34. Bottleneck/basic blocks include the projection
+ * (downsample) 1x1 convolutions; identity skip connections carry no
+ * compute and are not materialized (see dnn/model.hh).
+ */
+
+#include <string>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/models/builder_util.hh"
+
+namespace herald::dnn
+{
+
+namespace
+{
+
+/**
+ * Append one ResNet50 bottleneck: 1x1 reduce, 3x3, 1x1 expand, plus a
+ * 1x1 projection when the block changes channels or stride.
+ */
+std::uint64_t
+addBottleneck(Model &m, const std::string &prefix, std::uint64_t mid,
+              std::uint64_t in_c, std::uint64_t in_hw,
+              std::uint64_t stride)
+{
+    const std::uint64_t out_c = mid * 4;
+    m.addLayer(makePointwise(prefix + "_1x1a", mid, in_c, in_hw, in_hw));
+    std::uint64_t hw =
+        detail::addConvSame(m, prefix + "_3x3", mid, mid, in_hw, 3,
+                            stride);
+    m.addLayer(makePointwise(prefix + "_1x1b", out_c, mid, hw, hw));
+    if (in_c != out_c || stride != 1) {
+        std::uint64_t p = (hw - 1) * stride + 1;
+        m.addLayer(Layer(prefix + "_proj", LayerKind::PointwiseConv2D,
+                         LayerShape{out_c, in_c, p, p, 1, 1, stride, 1}));
+    }
+    return hw;
+}
+
+/** Append one ResNet34 basic block: two 3x3 convs (+ projection). */
+std::uint64_t
+addBasicBlock(Model &m, const std::string &prefix, std::uint64_t out_c,
+              std::uint64_t in_c, std::uint64_t in_hw,
+              std::uint64_t stride)
+{
+    std::uint64_t hw = detail::addConvSame(m, prefix + "_3x3a", out_c,
+                                           in_c, in_hw, 3, stride);
+    detail::addConvSame(m, prefix + "_3x3b", out_c, out_c, hw, 3, 1);
+    if (in_c != out_c || stride != 1) {
+        std::uint64_t p = (hw - 1) * stride + 1;
+        m.addLayer(Layer(prefix + "_proj", LayerKind::PointwiseConv2D,
+                         LayerShape{out_c, in_c, p, p, 1, 1, stride, 1}));
+    }
+    return hw;
+}
+
+} // namespace
+
+Model
+resnet50()
+{
+    Model m("Resnet50");
+    // conv1: 7x7/2 on 224x224 RGB, then 3x3/2 max-pool (no compute).
+    std::uint64_t hw = detail::addConvSame(m, "conv1", 64, 3, 224, 7, 2);
+    hw = detail::sameOut(hw, 2); // max pool to 56x56
+
+    struct Stage
+    {
+        std::uint64_t mid;
+        int blocks;
+        std::uint64_t stride;
+    };
+    const Stage stages[] = {{64, 3, 1}, {128, 4, 2}, {256, 6, 2},
+                            {512, 3, 2}};
+
+    std::uint64_t in_c = 64;
+    int stage_idx = 2;
+    for (const Stage &st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            std::string prefix = "conv" + std::to_string(stage_idx) +
+                                 "_" + std::to_string(b + 1);
+            std::uint64_t stride = (b == 0) ? st.stride : 1;
+            hw = addBottleneck(m, prefix, st.mid, in_c, hw, stride);
+            in_c = st.mid * 4;
+        }
+        ++stage_idx;
+    }
+
+    // Global average pool (no compute) then the classifier.
+    m.addLayer(makeFullyConnected("fc1000", 1000, 2048));
+    return m;
+}
+
+Model
+resnet34Backbone(std::uint64_t input_hw)
+{
+    Model m("Resnet34Backbone");
+    std::uint64_t hw =
+        detail::addConvSame(m, "conv1", 64, 3, input_hw, 7, 2);
+    hw = detail::sameOut(hw, 2); // max pool
+
+    struct Stage
+    {
+        std::uint64_t out_c;
+        int blocks;
+        std::uint64_t stride;
+    };
+    const Stage stages[] = {{64, 3, 1}, {128, 4, 2}, {256, 6, 2}};
+
+    std::uint64_t in_c = 64;
+    int stage_idx = 2;
+    for (const Stage &st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            std::string prefix = "conv" + std::to_string(stage_idx) +
+                                 "_" + std::to_string(b + 1);
+            std::uint64_t stride = (b == 0) ? st.stride : 1;
+            hw = addBasicBlock(m, prefix, st.out_c, in_c, hw, stride);
+            in_c = st.out_c;
+        }
+        ++stage_idx;
+    }
+    return m;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * MLPerf object-detection models: SSD-ResNet34 (1200x1200, the
+ * "large" benchmark) and SSD-MobileNetV1 (300x300, the "small" one).
+ * Each pairs a truncated classification backbone with SSD extra
+ * feature layers and per-feature-map confidence/localization heads.
+ * Anchor counts and class counts follow the MLPerf inference v0.5
+ * reference (81 COCO classes for R34, 91 for the MobileNet variant).
+ */
+
+#include <string>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/models/builder_util.hh"
+
+namespace herald::dnn
+{
+
+namespace
+{
+
+/** Append SSD conf+loc head convs on a hw x hw map with @p anchors. */
+void
+addSsdHead(Model &m, const std::string &tag, std::uint64_t in_c,
+           std::uint64_t hw, std::uint64_t anchors,
+           std::uint64_t classes)
+{
+    detail::addConvSame(m, "head" + tag + "_conf", anchors * classes,
+                        in_c, hw, 3, 1);
+    detail::addConvSame(m, "head" + tag + "_loc", anchors * 4, in_c,
+                        hw, 3, 1);
+}
+
+} // namespace
+
+Model
+ssdResnet34()
+{
+    // Backbone: ResNet34 truncated after conv4 (MLPerf keeps the
+    // conv4 stride at 1 so detection starts from a 50x50 map at 1200
+    // input — our SAME-geometry gives 75x75 from 1200/16; we keep the
+    // published stride-16 truncation).
+    Model m = resnet34Backbone(1200);
+    Model out("SSDResnet34");
+    for (const Layer &l : m.layers())
+        out.addLayer(l);
+
+    std::uint64_t hw = 75; // 1200 / 16
+    std::uint64_t in_c = 256;
+    const std::uint64_t classes = 81;
+
+    // Extra feature layers: 1x1 reduce + 3x3 stride-2, five times.
+    struct Extra
+    {
+        std::uint64_t mid;
+        std::uint64_t out_c;
+        std::uint64_t stride;
+    };
+    const Extra extras[] = {{256, 512, 2},
+                            {256, 512, 2},
+                            {128, 256, 2},
+                            {128, 256, 2},
+                            {128, 256, 2}};
+
+    // Head on the backbone map first (4 anchors), then on each extra
+    // map (6, 6, 6, 4, 4 anchors per the reference config).
+    const std::uint64_t anchor_counts[] = {4, 6, 6, 6, 4, 4};
+    addSsdHead(out, "0", in_c, hw, anchor_counts[0], classes);
+
+    int idx = 1;
+    for (const Extra &e : extras) {
+        std::string tag = std::to_string(idx);
+        out.addLayer(makePointwise("extra" + tag + "_1x1", e.mid, in_c,
+                                   hw, hw));
+        hw = detail::addConvSame(out, "extra" + tag + "_3x3", e.out_c,
+                                 e.mid, hw, 3, e.stride);
+        in_c = e.out_c;
+        addSsdHead(out, tag, in_c, hw, anchor_counts[idx], classes);
+        ++idx;
+    }
+    return out;
+}
+
+Model
+ssdMobileNetV1()
+{
+    Model out("SSDMobileNetV1");
+
+    // MobileNetV1 backbone at 300x300, through conv13 (19x19 map).
+    std::uint64_t hw = detail::addConvSame(out, "conv1", 32, 3, 300, 3,
+                                           2);
+    struct Sep
+    {
+        std::uint64_t out_c;
+        std::uint64_t stride;
+    };
+    const Sep seps[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2},
+                        {256, 1}, {512, 2}, {512, 1}, {512, 1},
+                        {512, 1}, {512, 1}, {512, 1}, {1024, 2},
+                        {1024, 1}};
+    std::uint64_t in_c = 32;
+    int idx = 2;
+    for (const Sep &sep : seps) {
+        std::string tag = std::to_string(idx);
+        hw = detail::addDepthwiseSame(out, "dw" + tag, in_c, hw, 3,
+                                      sep.stride);
+        out.addLayer(makePointwise("pw" + tag, sep.out_c, in_c, hw,
+                                   hw));
+        in_c = sep.out_c;
+        ++idx;
+    }
+
+    const std::uint64_t classes = 91;
+    // First two heads tap conv11 (19x19, 512ch) and conv13 (10x10,
+    // 1024ch); we head the final map and the extras below.
+    addSsdHead(out, "0", 512, 19, 3, classes);
+    addSsdHead(out, "1", 1024, 10, 6, classes);
+
+    // Extra layers: 1x1 then 3x3 stride-2 down to 1x1 resolution.
+    struct Extra
+    {
+        std::uint64_t mid;
+        std::uint64_t out_c;
+    };
+    const Extra extras[] = {{256, 512}, {128, 256}, {128, 256},
+                            {64, 128}};
+    hw = 10;
+    in_c = 1024;
+    int head = 2;
+    for (const Extra &e : extras) {
+        std::string tag = std::to_string(head);
+        out.addLayer(makePointwise("extra" + tag + "_1x1", e.mid, in_c,
+                                   hw, hw));
+        hw = detail::addConvSame(out, "extra" + tag + "_3x3", e.out_c,
+                                 e.mid, hw, 3, 2);
+        in_c = e.out_c;
+        addSsdHead(out, tag, in_c, hw, 6, classes);
+        ++head;
+    }
+    return out;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * UNet (Ronneberger et al., MICCAI 2015), classic 572x572 valid-
+ * convolution geometry: a 4-level contracting path to 1024 channels
+ * and an expansive path of 2x2 up-convolutions followed by 3x3 convs
+ * on the concatenation with the mirrored encoder feature map.
+ */
+
+#include <string>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/models/builder_util.hh"
+
+namespace herald::dnn
+{
+
+Model
+uNet()
+{
+    Model m("UNet");
+
+    // Contracting path: two valid 3x3 convs per level, 2x2 max pool.
+    std::uint64_t hw = 572;
+    std::uint64_t in_c = 1;
+    std::uint64_t enc_c[4];
+    std::uint64_t c = 64;
+    for (int level = 1; level <= 4; ++level) {
+        std::string tag = std::to_string(level);
+        m.addLayer(makeConv("enc" + tag + "_conv1", c, in_c, hw, hw, 3,
+                            3));
+        hw -= 2;
+        m.addLayer(makeConv("enc" + tag + "_conv2", c, c, hw, hw, 3, 3));
+        hw -= 2;
+        enc_c[level - 1] = c;
+        in_c = c;
+        c *= 2;
+        hw /= 2; // 2x2 max pool
+    }
+
+    // Bottleneck at 1024 channels.
+    m.addLayer(makeConv("bott_conv1", 1024, in_c, hw, hw, 3, 3));
+    hw -= 2;
+    m.addLayer(makeConv("bott_conv2", 1024, 1024, hw, hw, 3, 3));
+    hw -= 2;
+    in_c = 1024;
+
+    // Expansive path: 2x2 up-conv halves channels; the following convs
+    // see doubled input channels from the skip concatenation.
+    for (int level = 4; level >= 1; --level) {
+        std::string tag = std::to_string(level);
+        std::uint64_t out_c = enc_c[level - 1];
+        m.addLayer(makeTransposedConv("dec" + tag + "_up", out_c, in_c,
+                                      hw, hw, 2, 2, 2));
+        hw *= 2;
+        m.addLayer(makeConv("dec" + tag + "_conv1", out_c, out_c * 2,
+                            hw, hw, 3, 3));
+        hw -= 2;
+        m.addLayer(makeConv("dec" + tag + "_conv2", out_c, out_c, hw,
+                            hw, 3, 3));
+        hw -= 2;
+        in_c = out_c;
+    }
+
+    // Final 1x1 conv to the 2-class segmentation map.
+    m.addLayer(makePointwise("out_conv", 2, 64, hw, hw));
+    return m;
+}
+
+} // namespace herald::dnn

@@ -1,0 +1,209 @@
+#include "dse/design_space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+
+namespace herald::dse
+{
+
+const char *
+toString(SearchStrategy strategy)
+{
+    switch (strategy) {
+      case SearchStrategy::Exhaustive:
+        return "exhaustive";
+      case SearchStrategy::Binary:
+        return "binary";
+      case SearchStrategy::Random:
+        return "random";
+    }
+    util::panic("unknown SearchStrategy");
+}
+
+std::vector<std::vector<std::uint64_t>>
+enumerateCompositions(std::uint64_t units, std::size_t ways,
+                      std::uint64_t min_units)
+{
+    std::vector<std::vector<std::uint64_t>> result;
+    if (ways == 0 || units < ways * min_units)
+        return result;
+
+    std::vector<std::uint64_t> current(ways, 0);
+    // Recursive composition enumeration, iterative via lambda.
+    auto recurse = [&](auto &&self, std::size_t idx,
+                       std::uint64_t left) -> void {
+        if (idx + 1 == ways) {
+            current[idx] = left;
+            result.push_back(current);
+            return;
+        }
+        std::uint64_t remaining_min = (ways - idx - 1) * min_units;
+        for (std::uint64_t v = min_units; v + remaining_min <= left;
+             ++v) {
+            current[idx] = v;
+            self(self, idx + 1, left - v);
+        }
+    };
+    recurse(recurse, 0, units);
+    return result;
+}
+
+namespace
+{
+
+/** Effective PE step for @p opts on @p total_pes. */
+std::uint64_t
+peStep(std::uint64_t total_pes, const PartitionSpaceOptions &opts)
+{
+    std::uint64_t step = opts.peGranularity != 0
+                             ? opts.peGranularity
+                             : std::max<std::uint64_t>(1,
+                                                       total_pes / 16);
+    if (total_pes % step != 0) {
+        util::fatal("PE granularity ", step, " must divide ",
+                    total_pes);
+    }
+    return step;
+}
+
+/** Effective bandwidth step for @p opts on @p total_bw. */
+double
+bwStep(double total_bw, const PartitionSpaceOptions &opts)
+{
+    double step = opts.bwGranularity > 0.0 ? opts.bwGranularity
+                                           : total_bw / 8.0;
+    double units = total_bw / step;
+    if (std::abs(units - std::round(units)) > 1e-9) {
+        util::fatal("bandwidth granularity ", step,
+                    " must divide ", total_bw);
+    }
+    return step;
+}
+
+std::vector<PartitionCandidate>
+gridCandidates(std::uint64_t total_pes, double total_bw,
+               std::size_t ways, std::uint64_t pe_step, double bw_step)
+{
+    auto pe_units = enumerateCompositions(total_pes / pe_step, ways);
+    auto bw_units = enumerateCompositions(
+        static_cast<std::uint64_t>(std::llround(total_bw / bw_step)),
+        ways);
+
+    std::vector<PartitionCandidate> candidates;
+    candidates.reserve(pe_units.size() * bw_units.size());
+    for (const auto &pe : pe_units) {
+        for (const auto &bw : bw_units) {
+            PartitionCandidate cand;
+            for (std::uint64_t u : pe)
+                cand.peSplit.push_back(u * pe_step);
+            for (std::uint64_t u : bw)
+                cand.bwSplit.push_back(static_cast<double>(u) *
+                                       bw_step);
+            candidates.push_back(std::move(cand));
+        }
+    }
+    return candidates;
+}
+
+} // namespace
+
+std::vector<PartitionCandidate>
+generateCandidates(std::uint64_t total_pes, double total_bw,
+                   std::size_t ways,
+                   const PartitionSpaceOptions &opts)
+{
+    if (ways == 0)
+        util::fatal("partition space: zero sub-accelerators");
+
+    std::uint64_t pe_step = peStep(total_pes, opts);
+    double bw_step = bwStep(total_bw, opts);
+
+    switch (opts.strategy) {
+      case SearchStrategy::Exhaustive:
+        return gridCandidates(total_pes, total_bw, ways, pe_step,
+                              bw_step);
+      case SearchStrategy::Binary: {
+        // Coarse pass: quadruple the steps (at least two units per
+        // axis so the grid is non-trivial).
+        std::uint64_t coarse_pe =
+            std::min(pe_step * 4, total_pes / (2 * ways) > 0
+                                      ? pe_step * 4
+                                      : pe_step);
+        while (coarse_pe > pe_step &&
+               (total_pes % coarse_pe != 0 ||
+                total_pes / coarse_pe < ways)) {
+            coarse_pe /= 2;
+        }
+        double coarse_bw = bw_step * 4;
+        while (coarse_bw > bw_step &&
+               total_bw / coarse_bw < static_cast<double>(ways)) {
+            coarse_bw /= 2;
+        }
+        return gridCandidates(total_pes, total_bw, ways, coarse_pe,
+                              coarse_bw);
+      }
+      case SearchStrategy::Random: {
+        auto grid = gridCandidates(total_pes, total_bw, ways, pe_step,
+                                   bw_step);
+        if (grid.size() <= opts.randomSamples)
+            return grid;
+        util::SplitMix64 rng(opts.seed);
+        std::vector<PartitionCandidate> sampled;
+        sampled.reserve(opts.randomSamples);
+        // Partial Fisher-Yates over the grid indices.
+        std::vector<std::size_t> idx(grid.size());
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            idx[i] = i;
+        for (std::size_t i = 0; i < opts.randomSamples; ++i) {
+            std::size_t j =
+                i + rng.nextBounded(grid.size() - i);
+            std::swap(idx[i], idx[j]);
+            sampled.push_back(grid[idx[i]]);
+        }
+        return sampled;
+      }
+    }
+    util::panic("unknown SearchStrategy");
+}
+
+std::vector<PartitionCandidate>
+refineAround(const PartitionCandidate &center, std::uint64_t total_pes,
+             double total_bw, const PartitionSpaceOptions &opts)
+{
+    if (center.peSplit.size() != 2) {
+        // Refinement is defined pairwise; for >2 ways fall back to
+        // the fine exhaustive grid.
+        return generateCandidates(total_pes, total_bw,
+                                  center.peSplit.size(), opts);
+    }
+    std::uint64_t pe_step = peStep(total_pes, opts);
+    double bw_step = bwStep(total_bw, opts);
+
+    std::vector<PartitionCandidate> out;
+    for (int dpe = -4; dpe <= 4; ++dpe) {
+        std::int64_t a =
+            static_cast<std::int64_t>(center.peSplit[0]) +
+            dpe * static_cast<std::int64_t>(pe_step);
+        if (a < static_cast<std::int64_t>(pe_step) ||
+            a > static_cast<std::int64_t>(total_pes - pe_step)) {
+            continue;
+        }
+        for (int dbw = -4; dbw <= 4; ++dbw) {
+            double b = center.bwSplit[0] + dbw * bw_step;
+            if (b < bw_step - 1e-9 || b > total_bw - bw_step + 1e-9)
+                continue;
+            PartitionCandidate cand;
+            cand.peSplit = {static_cast<std::uint64_t>(a),
+                            total_pes -
+                                static_cast<std::uint64_t>(a)};
+            cand.bwSplit = {b, total_bw - b};
+            out.push_back(std::move(cand));
+        }
+    }
+    return out;
+}
+
+} // namespace herald::dse

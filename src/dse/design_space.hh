@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hardware-partitioning design space (paper Sec. IV-C): enumeration
+ * of PE and bandwidth splits across sub-accelerators at a user-chosen
+ * granularity, with exhaustive, binary (coarse-to-fine) and random
+ * search strategies.
+ */
+
+#ifndef HERALD_DSE_DESIGN_SPACE_HH
+#define HERALD_DSE_DESIGN_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace herald::dse
+{
+
+/**
+ * All ways to split @p units indivisible units across @p ways parts,
+ * each part >= @p min_units (default 1). Order matters (parts are
+ * per-sub-accelerator). E.g. splitting 4 units 2 ways: {1,3} {2,2}
+ * {3,1}.
+ */
+std::vector<std::vector<std::uint64_t>>
+enumerateCompositions(std::uint64_t units, std::size_t ways,
+                      std::uint64_t min_units = 1);
+
+/** One candidate hardware partitioning. */
+struct PartitionCandidate
+{
+    std::vector<std::uint64_t> peSplit; //!< PEs per sub-accelerator
+    std::vector<double> bwSplit;        //!< GB/s per sub-accelerator
+};
+
+/** How the partition space is traversed. */
+enum class SearchStrategy
+{
+    Exhaustive, //!< full grid at the given granularity
+    Binary,     //!< coarse grid, then refine around the best
+    Random,     //!< uniform samples from the fine grid
+};
+
+const char *toString(SearchStrategy strategy);
+
+/** Partition-space generation parameters. */
+struct PartitionSpaceOptions
+{
+    /** PE step; 0 selects totalPes / 16. */
+    std::uint64_t peGranularity = 0;
+    /** Bandwidth step in GB/s; 0 selects totalBw / 8. */
+    double bwGranularity = 0.0;
+    SearchStrategy strategy = SearchStrategy::Exhaustive;
+    /** Sample count for SearchStrategy::Random. */
+    std::size_t randomSamples = 64;
+    /** PRNG seed for SearchStrategy::Random (deterministic). */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate the partition candidates for @p ways sub-accelerators on a
+ * chip with @p total_pes and @p total_bw. For Binary, this returns
+ * the coarse grid; refinement happens in the DSE driver.
+ */
+std::vector<PartitionCandidate>
+generateCandidates(std::uint64_t total_pes, double total_bw,
+                   std::size_t ways,
+                   const PartitionSpaceOptions &opts);
+
+/**
+ * Candidates near @p center : every PE/BW split whose parts differ
+ * from the center by at most one @p opts step (used by the Binary
+ * strategy's refinement).
+ */
+std::vector<PartitionCandidate>
+refineAround(const PartitionCandidate &center, std::uint64_t total_pes,
+             double total_bw, const PartitionSpaceOptions &opts);
+
+} // namespace herald::dse
+
+#endif // HERALD_DSE_DESIGN_SPACE_HH

@@ -1,0 +1,99 @@
+#include "dse/herald_dse.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace herald::dse
+{
+
+std::vector<util::DesignPoint>
+DseResult::designPoints() const
+{
+    std::vector<util::DesignPoint> out;
+    out.reserve(points.size());
+    for (const DsePoint &p : points)
+        out.push_back(p.designPoint());
+    return out;
+}
+
+Herald::Herald(cost::CostModel &model, HeraldOptions options)
+    : costModel(model), opts(options)
+{
+}
+
+double
+Herald::objectiveValue(const sched::ScheduleSummary &summary) const
+{
+    switch (opts.objective) {
+      case sched::Metric::Edp:
+        return summary.edp();
+      case sched::Metric::Latency:
+        return summary.latencySec;
+      case sched::Metric::Energy:
+        return summary.energyMj;
+    }
+    util::panic("unknown Metric");
+}
+
+DsePoint
+Herald::evaluate(const workload::Workload &wl,
+                 const accel::Accelerator &acc) const
+{
+    sched::HeraldScheduler scheduler(costModel, opts.scheduler);
+    sched::Schedule schedule = scheduler.schedule(wl, acc);
+    DsePoint point{acc, schedule.finalize(acc,
+                                          costModel.energyModel(),
+                                          opts.chargeIdleEnergy)};
+    return point;
+}
+
+DseResult
+Herald::explore(const workload::Workload &wl,
+                const accel::AcceleratorClass &chip,
+                const std::vector<dataflow::DataflowStyle> &styles)
+    const
+{
+    if (styles.empty())
+        util::fatal("Herald::explore: no dataflow styles given");
+
+    DseResult result;
+    double best = std::numeric_limits<double>::infinity();
+
+    auto evaluate_candidates =
+        [&](const std::vector<PartitionCandidate> &candidates) {
+            std::optional<PartitionCandidate> best_cand;
+            for (const PartitionCandidate &cand : candidates) {
+                accel::Accelerator acc = accel::Accelerator::makeHda(
+                    chip, styles, cand.peSplit, cand.bwSplit);
+                DsePoint point = evaluate(wl, acc);
+                double value = objectiveValue(point.summary);
+                if (value < best) {
+                    best = value;
+                    result.bestIdx = result.points.size();
+                    best_cand = cand;
+                }
+                result.points.push_back(std::move(point));
+            }
+            return best_cand;
+        };
+
+    std::vector<PartitionCandidate> candidates = generateCandidates(
+        chip.numPes, chip.bwGBps, styles.size(), opts.partition);
+    std::optional<PartitionCandidate> best_cand =
+        evaluate_candidates(candidates);
+
+    if (opts.partition.strategy == SearchStrategy::Binary &&
+        best_cand) {
+        // Refine around the coarse optimum on the fine grid.
+        evaluate_candidates(refineAround(*best_cand, chip.numPes,
+                                         chip.bwGBps,
+                                         opts.partition));
+    }
+
+    if (result.points.empty())
+        util::fatal("Herald::explore: empty partition space");
+    return result;
+}
+
+} // namespace herald::dse

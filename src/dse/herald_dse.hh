@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Herald: the hardware/schedule co-design space exploration framework
+ * (paper Fig. 10). For a chip budget, a workload and a set of
+ * dataflow styles, Herald sweeps PE and bandwidth partitionings,
+ * schedules the workload on every candidate with its layer scheduler,
+ * and reports every evaluated design point plus the best one under
+ * the chosen objective.
+ */
+
+#ifndef HERALD_DSE_HERALD_DSE_HH
+#define HERALD_DSE_HERALD_DSE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "dse/design_space.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/pareto.hh"
+#include "workload/workload.hh"
+
+namespace herald::dse
+{
+
+/** One evaluated (accelerator, schedule) design point. */
+struct DsePoint
+{
+    accel::Accelerator accelerator;
+    sched::ScheduleSummary summary;
+
+    /** Latency/energy view for Pareto plots. */
+    util::DesignPoint
+    designPoint() const
+    {
+        return util::DesignPoint{summary.latencySec, summary.energyMj,
+                                 accelerator.name()};
+    }
+};
+
+/** Result of a design-space exploration. */
+struct DseResult
+{
+    std::vector<DsePoint> points;
+    std::size_t bestIdx = 0; //!< by the configured objective
+
+    const DsePoint &best() const { return points.at(bestIdx); }
+
+    /** All points as latency/energy pairs. */
+    std::vector<util::DesignPoint> designPoints() const;
+};
+
+/** Herald configuration. */
+struct HeraldOptions
+{
+    PartitionSpaceOptions partition{};
+    sched::SchedulerOptions scheduler{};
+    sched::Metric objective = sched::Metric::Edp;
+    /** Charge idle static energy at schedule level. */
+    bool chargeIdleEnergy = true;
+};
+
+/** The co-DSE driver. */
+class Herald
+{
+  public:
+    Herald(cost::CostModel &model,
+           HeraldOptions options = HeraldOptions{});
+
+    /**
+     * Schedule @p wl on a fixed accelerator and return the summary
+     * (compiler use case: schedule-only, Sec. I contribution (ii)).
+     */
+    DsePoint evaluate(const workload::Workload &wl,
+                      const accel::Accelerator &acc) const;
+
+    /**
+     * Full co-DSE (design-time use case): explore PE/BW partitionings
+     * of an HDA with the given @p styles on the @p chip budget.
+     */
+    DseResult explore(const workload::Workload &wl,
+                      const accel::AcceleratorClass &chip,
+                      const std::vector<dataflow::DataflowStyle>
+                          &styles) const;
+
+    const HeraldOptions &options() const { return opts; }
+
+  private:
+    cost::CostModel &costModel;
+    HeraldOptions opts;
+
+    double objectiveValue(const sched::ScheduleSummary &summary) const;
+};
+
+} // namespace herald::dse
+
+#endif // HERALD_DSE_HERALD_DSE_HH

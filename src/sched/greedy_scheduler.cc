@@ -1,0 +1,33 @@
+#include "sched/greedy_scheduler.hh"
+
+namespace herald::sched
+{
+
+namespace
+{
+
+SchedulerOptions
+greedyOptions(Metric metric)
+{
+    SchedulerOptions opts;
+    opts.metric = metric;
+    opts.loadBalance = false;
+    opts.postProcess = false;
+    return opts;
+}
+
+} // namespace
+
+GreedyScheduler::GreedyScheduler(cost::CostModel &model, Metric metric)
+    : impl(model, greedyOptions(metric))
+{
+}
+
+Schedule
+GreedyScheduler::schedule(const workload::Workload &wl,
+                          const accel::Accelerator &acc) const
+{
+    return impl.schedule(wl, acc);
+}
+
+} // namespace herald::sched

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The baseline greedy scheduler the paper compares Herald against
+ * (Sec. V-B, "Efficacy of Scheduling Algorithm"): every layer goes to
+ * the sub-accelerator with the least per-layer EDP, with no global
+ * load balancing and no idle-time post-processing.
+ */
+
+#ifndef HERALD_SCHED_GREEDY_SCHEDULER_HH
+#define HERALD_SCHED_GREEDY_SCHEDULER_HH
+
+#include "sched/herald_scheduler.hh"
+
+namespace herald::sched
+{
+
+/** Locally-optimal (per-layer) baseline scheduler. */
+class GreedyScheduler
+{
+  public:
+    explicit GreedyScheduler(cost::CostModel &model,
+                             Metric metric = Metric::Edp);
+
+    /** Build a schedule for @p wl on @p acc. */
+    Schedule schedule(const workload::Workload &wl,
+                      const accel::Accelerator &acc) const;
+
+  private:
+    HeraldScheduler impl;
+};
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_GREEDY_SCHEDULER_HH

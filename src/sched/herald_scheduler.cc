@@ -1,0 +1,460 @@
+#include "sched/herald_scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace herald::sched
+{
+
+namespace
+{
+
+constexpr double kEps = 1e-6;
+
+double
+metricValue(Metric metric, const cost::LayerCost &cost)
+{
+    switch (metric) {
+      case Metric::Edp:
+        return cost.edp();
+      case Metric::Latency:
+        return cost.cycles;
+      case Metric::Energy:
+        return cost.energyUnits;
+    }
+    util::panic("unknown Metric");
+}
+
+/**
+ * Occupancy bookkeeping for the shared global buffer: a set of
+ * (start, end, bytes) intervals with feasibility queries.
+ */
+class MemoryTracker
+{
+  public:
+    explicit MemoryTracker(std::uint64_t capacity_bytes)
+        : capacity(static_cast<double>(capacity_bytes))
+    {
+    }
+
+    struct Interval
+    {
+        double start;
+        double end;
+        double bytes;
+    };
+
+    /**
+     * Whether adding @p bytes over [start, start+dur) keeps occupancy
+     * within capacity. @p exclude skips one interval (for moves).
+     */
+    bool
+    feasible(double start, double dur, double bytes,
+             std::size_t exclude = SIZE_MAX) const
+    {
+        const double end = start + dur;
+        // Occupancy is piecewise constant; check at window start and
+        // at every interval start inside the window.
+        double peak = occupancyAt(start, end, start, exclude);
+        for (std::size_t i = 0; i < intervals.size(); ++i) {
+            if (i == exclude)
+                continue;
+            const Interval &iv = intervals[i];
+            if (iv.start > start && iv.start < end) {
+                peak = std::max(
+                    peak, occupancyAt(start, end, iv.start, exclude));
+            }
+        }
+        return peak + bytes <= capacity + kEps;
+    }
+
+    /**
+     * Earliest time >= @p start at which [t, t+dur) with @p bytes is
+     * feasible; advances over interval end events.
+     */
+    double
+    firstFeasible(double start, double dur, double bytes) const
+    {
+        if (bytes > capacity) {
+            // Cannot ever fit; caller serializes behind everything.
+            double latest = start;
+            for (const Interval &iv : intervals)
+                latest = std::max(latest, iv.end);
+            return latest;
+        }
+        double t = start;
+        for (int guard = 0; guard < 1 << 16; ++guard) {
+            if (feasible(t, dur, bytes))
+                return t;
+            // Jump to the next release that could lower occupancy.
+            double next = std::numeric_limits<double>::infinity();
+            for (const Interval &iv : intervals) {
+                if (iv.end > t + kEps)
+                    next = std::min(next, iv.end);
+            }
+            if (!std::isfinite(next))
+                return t; // nothing to release; give up at t
+            t = next;
+        }
+        util::panic("memory tracker failed to converge");
+    }
+
+    std::size_t
+    add(double start, double dur, double bytes)
+    {
+        intervals.push_back(Interval{start, start + dur, bytes});
+        return intervals.size() - 1;
+    }
+
+    void
+    move(std::size_t idx, double new_start)
+    {
+        Interval &iv = intervals.at(idx);
+        double dur = iv.end - iv.start;
+        iv.start = new_start;
+        iv.end = new_start + dur;
+    }
+
+  private:
+    double capacity;
+    std::vector<Interval> intervals;
+
+    double
+    occupancyAt(double win_start, double win_end, double t,
+                std::size_t exclude) const
+    {
+        (void)win_start;
+        (void)win_end;
+        double total = 0.0;
+        for (std::size_t i = 0; i < intervals.size(); ++i) {
+            if (i == exclude)
+                continue;
+            const Interval &iv = intervals[i];
+            if (iv.start <= t + kEps && iv.end > t + kEps)
+                total += iv.bytes;
+        }
+        return total;
+    }
+};
+
+} // namespace
+
+const char *
+toString(Metric metric)
+{
+    switch (metric) {
+      case Metric::Edp:
+        return "EDP";
+      case Metric::Latency:
+        return "latency";
+      case Metric::Energy:
+        return "energy";
+    }
+    util::panic("unknown Metric");
+}
+
+const char *
+toString(Ordering ordering)
+{
+    switch (ordering) {
+      case Ordering::BreadthFirst:
+        return "breadth-first";
+      case Ordering::DepthFirst:
+        return "depth-first";
+    }
+    util::panic("unknown Ordering");
+}
+
+HeraldScheduler::HeraldScheduler(cost::CostModel &model,
+                                 SchedulerOptions options)
+    : costModel(model), opts(options)
+{
+    if (opts.loadBalanceFactor < 1.0)
+        util::fatal("load-balancing factor must be >= 1");
+    if (opts.lookaheadDepth < 0 || opts.maxPostPasses < 0)
+        util::fatal("negative post-processing parameter");
+}
+
+Schedule
+HeraldScheduler::schedule(const workload::Workload &wl,
+                          const accel::Accelerator &acc) const
+{
+    const std::size_t n_inst = wl.numInstances();
+    const std::size_t n_acc = acc.numSubAccs();
+    Schedule schedule(n_acc);
+    if (n_inst == 0)
+        return schedule;
+
+    std::vector<std::size_t> next_layer(n_inst, 0);
+    std::vector<double> ready_time(n_inst, 0.0);
+    std::vector<double> acc_avail(n_acc, 0.0);
+    std::vector<std::size_t> acc_last_instance(n_acc, SIZE_MAX);
+    MemoryTracker memory(acc.globalBufferBytes());
+
+    std::size_t remaining = wl.totalLayers();
+    std::size_t rotate = 0; // breadth-first round-robin cursor
+
+    while (remaining > 0) {
+        // --- Layer ordering heuristic: pick the next instance ---
+        std::size_t inst = SIZE_MAX;
+        if (opts.ordering == Ordering::BreadthFirst) {
+            for (std::size_t k = 0; k < n_inst; ++k) {
+                std::size_t cand = (rotate + k) % n_inst;
+                if (next_layer[cand] <
+                    wl.modelOf(cand).numLayers()) {
+                    inst = cand;
+                    break;
+                }
+            }
+        } else {
+            for (std::size_t cand = 0; cand < n_inst; ++cand) {
+                if (next_layer[cand] <
+                    wl.modelOf(cand).numLayers()) {
+                    inst = cand;
+                    break;
+                }
+            }
+        }
+        if (inst == SIZE_MAX)
+            util::panic("scheduler: no instance with pending layers");
+
+        const dnn::Layer &layer =
+            wl.modelOf(inst).layer(next_layer[inst]);
+
+        // --- Dataflow-preference-based assignment ---
+        std::vector<accel::StyledLayerCost> costs(n_acc);
+        std::vector<std::size_t> order(n_acc);
+        for (std::size_t a = 0; a < n_acc; ++a) {
+            costs[a] = accel::evaluateOnSubAcc(costModel, acc, a,
+                                               layer,
+                                               opts.rdaOverheads);
+            order[a] = a;
+        }
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return metricValue(opts.metric, costs[a].cost) <
+                             metricValue(opts.metric, costs[b].cost);
+                  });
+
+        // --- Load-balancing feedback: demote overloading choices ---
+        std::size_t chosen = order[0];
+        if (opts.loadBalance && n_acc > 1) {
+            const double best_metric =
+                metricValue(opts.metric, costs[order[0]].cost);
+            for (std::size_t a : order) {
+                if (metricValue(opts.metric, costs[a].cost) >
+                    best_metric * opts.loadBalanceMaxDegradation) {
+                    break; // remaining candidates are worse still
+                }
+                double start =
+                    std::max(ready_time[inst], acc_avail[a]);
+                double frontier = start + costs[a].cost.cycles;
+                double max_f = frontier;
+                double min_f = frontier;
+                for (std::size_t b = 0; b < n_acc; ++b) {
+                    if (b == a)
+                        continue;
+                    max_f = std::max(max_f, acc_avail[b]);
+                    min_f = std::min(min_f, acc_avail[b]);
+                }
+                if (min_f > 0.0 &&
+                    max_f <= opts.loadBalanceFactor * min_f) {
+                    chosen = a;
+                    break;
+                }
+            }
+        }
+
+        // --- Dependence + memory constrained start time ---
+        const accel::StyledLayerCost &sc = costs[chosen];
+        double dur = sc.cost.cycles;
+        if (opts.contextChangeCycles > 0.0 &&
+            acc_last_instance[chosen] != SIZE_MAX &&
+            acc_last_instance[chosen] != inst) {
+            dur += opts.contextChangeCycles;
+        }
+        double start =
+            std::max(ready_time[inst], acc_avail[chosen]);
+        start = memory.firstFeasible(
+            start, dur,
+            static_cast<double>(sc.cost.l2FootprintBytes));
+        memory.add(start, dur,
+                   static_cast<double>(sc.cost.l2FootprintBytes));
+
+        ScheduledLayer entry;
+        entry.instanceIdx = inst;
+        entry.layerIdx = next_layer[inst];
+        entry.accIdx = chosen;
+        entry.style = sc.style;
+        entry.startCycle = start;
+        entry.endCycle = start + dur;
+        entry.energyUnits = sc.cost.energyUnits;
+        entry.l2FootprintBytes = sc.cost.l2FootprintBytes;
+        schedule.add(entry);
+
+        ready_time[inst] = entry.endCycle;
+        acc_avail[chosen] = entry.endCycle;
+        acc_last_instance[chosen] = inst;
+        ++next_layer[inst];
+        --remaining;
+        rotate = (inst + 1) % n_inst;
+    }
+
+    if (opts.postProcess)
+        postProcessIdleTime(schedule, acc);
+    return schedule;
+}
+
+namespace
+{
+
+/** Entry index of (instance, layer) pairs for dependence lookups. */
+std::map<std::pair<std::size_t, std::size_t>, std::size_t>
+buildDependenceIndex(const std::vector<ScheduledLayer> &entries)
+{
+    std::map<std::pair<std::size_t, std::size_t>, std::size_t> index;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        index[std::make_pair(entries[i].instanceIdx,
+                             entries[i].layerIdx)] = i;
+    }
+    return index;
+}
+
+/** Rebuild a memory tracker mirroring the schedule's intervals. */
+MemoryTracker
+buildTracker(const std::vector<ScheduledLayer> &entries,
+             std::uint64_t capacity)
+{
+    MemoryTracker tracker(capacity);
+    for (const ScheduledLayer &e : entries) {
+        tracker.add(e.startCycle, e.duration(),
+                    static_cast<double>(e.l2FootprintBytes));
+    }
+    return tracker;
+}
+
+} // namespace
+
+void
+HeraldScheduler::postProcessIdleTime(Schedule &schedule,
+                                     const accel::Accelerator &acc)
+    const
+{
+    std::vector<ScheduledLayer> &entries = schedule.mutableEntries();
+    if (entries.empty())
+        return;
+    auto dep_index = buildDependenceIndex(entries);
+
+    auto dep_ready = [&](const ScheduledLayer &e) {
+        if (e.layerIdx == 0)
+            return 0.0;
+        auto it = dep_index.find(
+            std::make_pair(e.instanceIdx, e.layerIdx - 1));
+        return it == dep_index.end() ? 0.0
+                                     : entries[it->second].endCycle;
+    };
+
+    for (int pass = 0; pass < opts.maxPostPasses; ++pass) {
+        bool changed = false;
+        MemoryTracker tracker =
+            buildTracker(entries, acc.globalBufferBytes());
+
+        // Per-sub-accelerator time order.
+        std::vector<std::vector<std::size_t>> per_acc(
+            schedule.numSubAccs());
+        for (std::size_t i = 0; i < entries.size(); ++i)
+            per_acc[entries[i].accIdx].push_back(i);
+        for (auto &vec : per_acc) {
+            std::sort(vec.begin(), vec.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return entries[a].startCycle <
+                                 entries[b].startCycle;
+                      });
+        }
+
+        // Pull pass: shift entries earlier preserving order.
+        for (auto &vec : per_acc) {
+            for (std::size_t pos = 0; pos < vec.size(); ++pos) {
+                ScheduledLayer &e = entries[vec[pos]];
+                double acc_prev_end =
+                    pos == 0 ? 0.0 : entries[vec[pos - 1]].endCycle;
+                double new_start =
+                    std::max(dep_ready(e), acc_prev_end);
+                if (new_start < e.startCycle - kEps &&
+                    tracker.feasible(
+                        new_start, e.duration(),
+                        static_cast<double>(e.l2FootprintBytes),
+                        vec[pos])) {
+                    tracker.move(vec[pos], new_start);
+                    double dur = e.duration();
+                    e.startCycle = new_start;
+                    e.endCycle = new_start + dur;
+                    changed = true;
+                }
+            }
+        }
+
+        // Gap-fill pass (Fig. 9): move a later layer into an idle gap
+        // within the look-ahead window. After every move the acc's
+        // time order is re-established before continuing — gaps are
+        // only meaningful on a sorted timeline.
+        for (auto &vec : per_acc) {
+            bool moved = true;
+            int guard = 0;
+            const int max_moves =
+                static_cast<int>(vec.size()) + 8;
+            while (moved && guard++ < max_moves) {
+                moved = false;
+                std::sort(vec.begin(), vec.end(),
+                          [&](std::size_t a, std::size_t b) {
+                              return entries[a].startCycle <
+                                     entries[b].startCycle;
+                          });
+                for (std::size_t pos = 0;
+                     pos + 1 < vec.size() && !moved; ++pos) {
+                    double gap_start = entries[vec[pos]].endCycle;
+                    double gap_end =
+                        entries[vec[pos + 1]].startCycle;
+                    if (gap_end - gap_start <= kEps)
+                        continue;
+                    int depth = 0;
+                    for (std::size_t j = pos + 1;
+                         j < vec.size() &&
+                         depth < opts.lookaheadDepth;
+                         ++j, ++depth) {
+                        ScheduledLayer &cand = entries[vec[j]];
+                        double dur = cand.duration();
+                        if (dur > gap_end - gap_start + kEps)
+                            continue;
+                        if (cand.startCycle <= gap_start + kEps)
+                            continue;
+                        if (dep_ready(cand) > gap_start + kEps)
+                            continue;
+                        if (!tracker.feasible(
+                                gap_start, dur,
+                                static_cast<double>(
+                                    cand.l2FootprintBytes),
+                                vec[j])) {
+                            continue;
+                        }
+                        tracker.move(vec[j], gap_start);
+                        cand.startCycle = gap_start;
+                        cand.endCycle = gap_start + dur;
+                        changed = true;
+                        moved = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (!changed)
+            break;
+    }
+}
+
+} // namespace herald::sched

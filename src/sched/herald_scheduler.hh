@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Herald's layer scheduler (paper Sec. IV-D, Figs. 7-9).
+ *
+ * Step 1 — initial scheduling: layers are taken in depth-first or
+ * breadth-first model order; each is assigned to the sub-accelerator
+ * with the best per-layer metric (dataflow preference), demoted to
+ * the next-best candidate when the assignment would leave the
+ * sub-accelerator completion frontiers unbalanced beyond the user's
+ * load-balancing factor. Start times respect the model's dependence
+ * chain and the global-buffer occupancy constraint.
+ *
+ * Step 2 — post-processing: idle-time elimination. A pull pass moves
+ * entries earlier within their sub-accelerator order; a gap-fill pass
+ * with a bounded look-ahead reorders later layers into idle gaps
+ * (Fig. 9). Both passes only ever move entries earlier, so the
+ * makespan is non-increasing and the loop terminates.
+ */
+
+#ifndef HERALD_SCHED_HERALD_SCHEDULER_HH
+#define HERALD_SCHED_HERALD_SCHEDULER_HH
+
+#include "accel/rda.hh"
+#include "cost/cost_model.hh"
+#include "sched/schedule.hh"
+#include "workload/workload.hh"
+
+namespace herald::sched
+{
+
+/** Which per-layer cost the assignment greedily minimizes. */
+enum class Metric
+{
+    Edp,
+    Latency,
+    Energy,
+};
+
+const char *toString(Metric metric);
+
+/** Initial layer ordering heuristic (Sec. IV-D). */
+enum class Ordering
+{
+    BreadthFirst, //!< interleave models (default for multi-DNN)
+    DepthFirst,   //!< finish one model before the next
+};
+
+const char *toString(Ordering ordering);
+
+/** Scheduler tuning knobs. */
+struct SchedulerOptions
+{
+    Metric metric = Metric::Edp;
+    Ordering ordering = Ordering::BreadthFirst;
+
+    /** Enable the load-balancing feedback loop. */
+    bool loadBalance = true;
+    /** Max allowed (max frontier / min frontier) imbalance. */
+    double loadBalanceFactor = 2.0;
+    /**
+     * A second-best sub-accelerator is only considered for balancing
+     * when its per-layer metric is within this factor of the best
+     * one — balancing must not push a layer onto a catastrophically
+     * mismatched dataflow.
+     */
+    double loadBalanceMaxDegradation = 4.0;
+
+    /** Enable idle-time-elimination post-processing. */
+    bool postProcess = true;
+    /** Look-ahead depth of the gap-fill pass (Fig. 9's LA). */
+    int lookaheadDepth = 4;
+    /** Maximum post-processing sweeps. */
+    int maxPostPasses = 8;
+
+    /**
+     * Latency penalty (cycles) when a sub-accelerator switches to a
+     * layer of a different model instance (data-layout / context
+     * change; paper Sec. IV-A provides this as an option).
+     */
+    double contextChangeCycles = 0.0;
+
+    /** Overheads applied to flexible (RDA) sub-accelerators. */
+    accel::RdaOverheads rdaOverheads{};
+};
+
+/** The Herald scheduler. */
+class HeraldScheduler
+{
+  public:
+    HeraldScheduler(cost::CostModel &model,
+                    SchedulerOptions options = SchedulerOptions{});
+
+    /** Build a schedule for @p wl on @p acc. */
+    Schedule schedule(const workload::Workload &wl,
+                      const accel::Accelerator &acc) const;
+
+    const SchedulerOptions &options() const { return opts; }
+
+  private:
+    cost::CostModel &costModel;
+    SchedulerOptions opts;
+
+    /** Idle-time elimination (Fig. 9): pull + gap-fill sweeps. */
+    void postProcessIdleTime(Schedule &schedule,
+                             const accel::Accelerator &acc) const;
+};
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_HERALD_SCHEDULER_HH

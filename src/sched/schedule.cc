@@ -1,0 +1,264 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace herald::sched
+{
+
+namespace
+{
+constexpr double kEps = 1e-6;
+} // namespace
+
+void
+Schedule::add(ScheduledLayer entry)
+{
+    if (entry.accIdx >= numAccs)
+        util::panic("schedule: sub-accelerator index out of range");
+    if (entry.endCycle < entry.startCycle)
+        util::panic("schedule: negative-duration entry");
+    list.push_back(entry);
+}
+
+double
+Schedule::makespanCycles() const
+{
+    double makespan = 0.0;
+    for (const ScheduledLayer &e : list)
+        makespan = std::max(makespan, e.endCycle);
+    return makespan;
+}
+
+double
+Schedule::busyCycles(std::size_t acc_idx) const
+{
+    double busy = 0.0;
+    for (const ScheduledLayer &e : list) {
+        if (e.accIdx == acc_idx)
+            busy += e.duration();
+    }
+    return busy;
+}
+
+ScheduleSummary
+Schedule::finalize(const accel::Accelerator &acc,
+                   const cost::EnergyModel &energy, bool charge_idle,
+                   double clock_ghz) const
+{
+    ScheduleSummary summary;
+    summary.makespanCycles = makespanCycles();
+    summary.latencySec = summary.makespanCycles / (clock_ghz * 1e9);
+    summary.busyCycles.resize(acc.numSubAccs(), 0.0);
+
+    for (const ScheduledLayer &e : list) {
+        summary.energyUnits += e.energyUnits;
+        summary.busyCycles[e.accIdx] += e.duration();
+    }
+
+    if (charge_idle && energy.staticPerPeCycle > 0.0) {
+        for (std::size_t a = 0; a < acc.numSubAccs(); ++a) {
+            double idle =
+                std::max(0.0, summary.makespanCycles -
+                                  summary.busyCycles[a]);
+            summary.energyUnits +=
+                energy.staticPerPeCycle *
+                static_cast<double>(acc.subAccs()[a].numPes) * idle;
+        }
+    }
+
+    summary.energyMj = energy.toMillijoules(summary.energyUnits);
+    return summary;
+}
+
+std::string
+Schedule::validate(const workload::Workload &wl,
+                   const accel::Accelerator &acc) const
+{
+    std::ostringstream err;
+
+    if (numAccs != acc.numSubAccs()) {
+        err << "schedule built for " << numAccs
+            << " sub-accelerators, accelerator has "
+            << acc.numSubAccs();
+        return err.str();
+    }
+
+    // Completeness: every (instance, layer) exactly once.
+    std::map<std::pair<std::size_t, std::size_t>, const ScheduledLayer *>
+        seen;
+    for (const ScheduledLayer &e : list) {
+        if (e.instanceIdx >= wl.numInstances()) {
+            err << "entry references instance " << e.instanceIdx
+                << " out of range";
+            return err.str();
+        }
+        const dnn::Model &model = wl.modelOf(e.instanceIdx);
+        if (e.layerIdx >= model.numLayers()) {
+            err << "entry references layer " << e.layerIdx
+                << " out of range for " << model.name();
+            return err.str();
+        }
+        auto key = std::make_pair(e.instanceIdx, e.layerIdx);
+        if (seen.count(key)) {
+            err << "duplicate entry for instance " << e.instanceIdx
+                << " layer " << e.layerIdx;
+            return err.str();
+        }
+        seen[key] = &e;
+    }
+    if (seen.size() != wl.totalLayers()) {
+        err << "schedule has " << seen.size() << " layers, workload has "
+            << wl.totalLayers();
+        return err.str();
+    }
+
+    // Dependence: layer l starts after layer l-1 of the same instance.
+    for (const ScheduledLayer &e : list) {
+        if (e.layerIdx == 0)
+            continue;
+        const ScheduledLayer *prev =
+            seen[std::make_pair(e.instanceIdx, e.layerIdx - 1)];
+        if (e.startCycle < prev->endCycle - kEps) {
+            err << "dependence violation: instance " << e.instanceIdx
+                << " layer " << e.layerIdx << " starts "
+                << e.startCycle << " before predecessor ends "
+                << prev->endCycle;
+            return err.str();
+        }
+    }
+
+    // Non-overlap per sub-accelerator.
+    for (std::size_t a = 0; a < numAccs; ++a) {
+        std::vector<const ScheduledLayer *> on_acc;
+        for (const ScheduledLayer &e : list) {
+            if (e.accIdx == a)
+                on_acc.push_back(&e);
+        }
+        std::sort(on_acc.begin(), on_acc.end(),
+                  [](const ScheduledLayer *x, const ScheduledLayer *y) {
+                      return x->startCycle < y->startCycle;
+                  });
+        for (std::size_t i = 1; i < on_acc.size(); ++i) {
+            if (on_acc[i]->startCycle <
+                on_acc[i - 1]->endCycle - kEps) {
+                err << "overlap on sub-accelerator " << a << " at cycle "
+                    << on_acc[i]->startCycle;
+                return err.str();
+            }
+        }
+    }
+
+    // Global-buffer occupancy: sweep over start/end events.
+    struct Event
+    {
+        double time;
+        std::int64_t delta;
+    };
+    std::vector<Event> events;
+    for (const ScheduledLayer &e : list) {
+        events.push_back(
+            {e.startCycle,
+             static_cast<std::int64_t>(e.l2FootprintBytes)});
+        events.push_back(
+            {e.endCycle,
+             -static_cast<std::int64_t>(e.l2FootprintBytes)});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &x, const Event &y) {
+                  if (x.time != y.time)
+                      return x.time < y.time;
+                  return x.delta < y.delta; // releases before claims
+              });
+    std::int64_t occupancy = 0;
+    const std::int64_t cap =
+        static_cast<std::int64_t>(acc.globalBufferBytes());
+    for (const Event &ev : events) {
+        occupancy += ev.delta;
+        if (occupancy > cap) {
+            err << "global buffer over-subscribed (" << occupancy
+                << " > " << cap << " bytes) at cycle " << ev.time;
+            return err.str();
+        }
+    }
+
+    return "";
+}
+
+std::uint64_t
+Schedule::peakOccupancyBytes() const
+{
+    struct Event
+    {
+        double time;
+        std::int64_t delta;
+    };
+    std::vector<Event> events;
+    for (const ScheduledLayer &e : list) {
+        events.push_back(
+            {e.startCycle,
+             static_cast<std::int64_t>(e.l2FootprintBytes)});
+        events.push_back(
+            {e.endCycle,
+             -static_cast<std::int64_t>(e.l2FootprintBytes)});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &x, const Event &y) {
+                  if (x.time != y.time)
+                      return x.time < y.time;
+                  return x.delta < y.delta;
+              });
+    std::int64_t occupancy = 0;
+    std::int64_t peak = 0;
+    for (const Event &ev : events) {
+        occupancy += ev.delta;
+        peak = std::max(peak, occupancy);
+    }
+    return static_cast<std::uint64_t>(peak);
+}
+
+std::string
+Schedule::renderTimeline(const workload::Workload &wl, int width) const
+{
+    if (width < 8)
+        width = 8;
+    const double makespan = makespanCycles();
+    std::ostringstream oss;
+    if (makespan <= 0.0 || list.empty())
+        return "(empty schedule)\n";
+
+    auto glyph = [](std::size_t instance) {
+        static const char digits[] =
+            "0123456789abcdefghijklmnopqrstuvwxyz";
+        return digits[instance % 36];
+    };
+
+    for (std::size_t a = 0; a < numAccs; ++a) {
+        std::string row(static_cast<std::size_t>(width), '.');
+        for (const ScheduledLayer &e : list) {
+            if (e.accIdx != a)
+                continue;
+            int lo = static_cast<int>(e.startCycle / makespan * width);
+            int hi = static_cast<int>(e.endCycle / makespan * width);
+            lo = std::min(lo, width - 1);
+            hi = std::max(lo + 1, std::min(hi, width));
+            for (int c = lo; c < hi; ++c)
+                row[static_cast<std::size_t>(c)] =
+                    glyph(e.instanceIdx);
+        }
+        oss << "acc" << a << " |" << row << "|\n";
+    }
+    oss << "       0";
+    for (int i = 0; i < width - 8; ++i)
+        oss << ' ';
+    oss << makespan << " cycles\n";
+    oss << "       (cells: workload instance index; '.', idle)";
+    if (wl.numInstances() > 0)
+        oss << "\n";
+    return oss.str();
+}
+
+} // namespace herald::sched

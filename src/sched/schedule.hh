@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Layer execution schedules: the output of the schedulers and the
+ * object the evaluation metrics (latency / energy / EDP) are computed
+ * from. A schedule assigns every layer of every workload instance to
+ * a sub-accelerator with a start/end time in cycles.
+ */
+
+#ifndef HERALD_SCHED_SCHEDULE_HH
+#define HERALD_SCHED_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "cost/energy_model.hh"
+#include "dataflow/style.hh"
+#include "workload/workload.hh"
+
+namespace herald::sched
+{
+
+/** One scheduled layer execution. */
+struct ScheduledLayer
+{
+    std::size_t instanceIdx = 0; //!< workload instance
+    std::size_t layerIdx = 0;    //!< layer within the instance's model
+    std::size_t accIdx = 0;      //!< sub-accelerator
+    dataflow::DataflowStyle style = dataflow::DataflowStyle::NVDLA;
+    double startCycle = 0.0;
+    double endCycle = 0.0;
+    double energyUnits = 0.0;    //!< dynamic energy (MAC units)
+    std::uint64_t l2FootprintBytes = 0; //!< staging occupancy
+
+    double duration() const { return endCycle - startCycle; }
+};
+
+/** Aggregate metrics of a finalized schedule. */
+struct ScheduleSummary
+{
+    double makespanCycles = 0.0;
+    double latencySec = 0.0;
+    double energyUnits = 0.0; //!< dynamic + idle static
+    double energyMj = 0.0;
+    std::vector<double> busyCycles; //!< per sub-accelerator
+
+    double edp() const { return latencySec * energyMj; }
+};
+
+/**
+ * A (possibly in-construction) schedule. Entries are appended by the
+ * schedulers and may be retimed by post-processing; finalize()
+ * computes the summary including idle static energy for
+ * under-utilized sub-accelerators (dark silicon).
+ */
+class Schedule
+{
+  public:
+    explicit Schedule(std::size_t num_sub_accs)
+        : numAccs(num_sub_accs)
+    {
+    }
+
+    void add(ScheduledLayer entry);
+
+    const std::vector<ScheduledLayer> &entries() const { return list; }
+    std::vector<ScheduledLayer> &mutableEntries() { return list; }
+    std::size_t numSubAccs() const { return numAccs; }
+
+    /** Latest end time over all entries. */
+    double makespanCycles() const;
+
+    /** Sum of entry durations on sub-accelerator @p acc_idx. */
+    double busyCycles(std::size_t acc_idx) const;
+
+    /**
+     * Compute the summary. Idle static energy is charged for every
+     * sub-accelerator's PEs over (makespan - busy) when the energy
+     * model has a non-zero static coefficient and @p charge_idle.
+     */
+    ScheduleSummary finalize(const accel::Accelerator &acc,
+                             const cost::EnergyModel &energy,
+                             bool charge_idle = true,
+                             double clock_ghz = 1.0) const;
+
+    /**
+     * Validate against the workload and accelerator: completeness,
+     * dependence order, per-sub-accelerator non-overlap, and global-
+     * buffer occupancy. Returns an empty string when valid, else a
+     * description of the first violation.
+     */
+    std::string validate(const workload::Workload &wl,
+                         const accel::Accelerator &acc) const;
+
+    /**
+     * Peak concurrent global-buffer occupancy in bytes (one of the
+     * "Mem Occupancy" outputs of Fig. 10).
+     */
+    std::uint64_t peakOccupancyBytes() const;
+
+    /**
+     * Render an ASCII timeline (Fig. 7-style): one row per
+     * sub-accelerator, @p width columns spanning the makespan, each
+     * cell showing the instance index running there (or '.' idle).
+     */
+    std::string renderTimeline(const workload::Workload &wl,
+                               int width = 72) const;
+
+  private:
+    std::size_t numAccs;
+    std::vector<ScheduledLayer> list;
+};
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_SCHEDULE_HH

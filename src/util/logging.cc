@@ -1,0 +1,46 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace herald::util
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        if (verboseFlag)
+            std::fprintf(stderr, "info: %s\n", msg.c_str());
+        break;
+      case LogLevel::Warn:
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        break;
+      case LogLevel::Fatal:
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        throw std::runtime_error(msg);
+      case LogLevel::Panic:
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        throw std::logic_error(msg);
+    }
+}
+
+} // namespace herald::util

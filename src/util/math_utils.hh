@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small integer-math helpers shared by the mapper, cost model and DSE.
+ */
+
+#ifndef HERALD_UTIL_MATH_UTILS_HH
+#define HERALD_UTIL_MATH_UTILS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace herald::util
+{
+
+/** Ceiling division for unsigned integers; ceilDiv(x, 0) panics. */
+std::uint64_t ceilDiv(std::uint64_t num, std::uint64_t den);
+
+/** Round @p value up to the next multiple of @p mult (mult > 0). */
+std::uint64_t roundUp(std::uint64_t value, std::uint64_t mult);
+
+/** All positive divisors of @p value in ascending order. */
+std::vector<std::uint64_t> divisors(std::uint64_t value);
+
+/**
+ * The largest divisor of @p value that is <= @p bound, or 1 when no
+ * divisor fits. Used to pick spatial tile sizes that divide a layer
+ * dimension evenly whenever possible.
+ */
+std::uint64_t largestDivisorAtMost(std::uint64_t value,
+                                   std::uint64_t bound);
+
+/**
+ * Factor @p pes into (a, b) with a*b <= pes, a <= boundA, b <= boundB,
+ * maximizing a*b and secondarily balancing the two factors. Used for
+ * two-dimensional spatial partitioning (e.g. K x C or Y x X).
+ */
+struct FactorPair
+{
+    std::uint64_t first;
+    std::uint64_t second;
+};
+
+FactorPair bestFactorPair(std::uint64_t pes, std::uint64_t bound_a,
+                          std::uint64_t bound_b);
+
+/** Integer floor of sqrt. */
+std::uint64_t isqrt(std::uint64_t value);
+
+/**
+ * Deterministic 64-bit PRNG (splitmix64). Herald never uses
+ * std::random_device so that every DSE run is reproducible.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). @p bound must be > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace herald::util
+
+#endif // HERALD_UTIL_MATH_UTILS_HH

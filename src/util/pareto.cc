@@ -1,0 +1,52 @@
+#include "util/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace herald::util
+{
+
+bool
+dominates(const DesignPoint &a, const DesignPoint &b)
+{
+    return a.latency <= b.latency && a.energy <= b.energy &&
+           (a.latency < b.latency || a.energy < b.energy);
+}
+
+std::vector<DesignPoint>
+paretoFront(std::vector<DesignPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  if (a.latency != b.latency)
+                      return a.latency < b.latency;
+                  return a.energy < b.energy;
+              });
+
+    std::vector<DesignPoint> front;
+    double best_energy = std::numeric_limits<double>::infinity();
+    for (const DesignPoint &p : points) {
+        if (p.energy < best_energy) {
+            front.push_back(p);
+            best_energy = p.energy;
+        }
+    }
+    return front;
+}
+
+std::size_t
+minEdpIndex(const std::vector<DesignPoint> &points)
+{
+    if (points.empty())
+        panic("minEdpIndex on empty point set");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].edp() < points[best].edp())
+            best = i;
+    }
+    return best;
+}
+
+} // namespace herald::util

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Pareto-front extraction over (latency, energy) design points, used to
+ * reproduce the Pareto curves of Fig. 11 and to pick final designs.
+ */
+
+#ifndef HERALD_UTIL_PARETO_HH
+#define HERALD_UTIL_PARETO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace herald::util
+{
+
+/** A single design point in latency/energy space. */
+struct DesignPoint
+{
+    double latency = 0.0; //!< seconds (or cycles; units are uniform)
+    double energy = 0.0;  //!< millijoules (or pJ; units are uniform)
+    std::string label;    //!< free-form tag ("NVDLA FDA", "HDA 4k/12k")
+
+    /** Energy-delay product, the paper's headline scalar metric. */
+    double edp() const { return latency * energy; }
+};
+
+/** True when @p a dominates @p b (<= in both axes, < in at least one). */
+bool dominates(const DesignPoint &a, const DesignPoint &b);
+
+/**
+ * Extract the Pareto-optimal subset of @p points (minimizing both
+ * latency and energy), sorted by ascending latency.
+ */
+std::vector<DesignPoint> paretoFront(std::vector<DesignPoint> points);
+
+/** Index of the point with minimal EDP; panics on empty input. */
+std::size_t minEdpIndex(const std::vector<DesignPoint> &points);
+
+} // namespace herald::util
+
+#endif // HERALD_UTIL_PARETO_HH

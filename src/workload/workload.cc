@@ -1,0 +1,90 @@
+#include "workload/workload.hh"
+
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+namespace herald::workload
+{
+
+void
+Workload::addModel(dnn::Model model, int batches)
+{
+    if (batches < 1)
+        util::fatal("workload '", wlName, "': batches must be >= 1");
+    if (model.numLayers() == 0)
+        util::fatal("workload '", wlName, "': empty model '",
+                    model.name(), "'");
+    std::size_t spec_idx = modelSpecs.size();
+    for (int b = 0; b < batches; ++b) {
+        Instance inst;
+        inst.specIdx = spec_idx;
+        inst.batchIdx = b;
+        inst.name = model.name() + "#" + std::to_string(b + 1);
+        insts.push_back(std::move(inst));
+    }
+    modelSpecs.push_back(ModelSpec{std::move(model), batches});
+}
+
+const dnn::Model &
+Workload::modelOf(std::size_t instance_idx) const
+{
+    if (instance_idx >= insts.size())
+        util::panic("workload '", wlName, "': instance ", instance_idx,
+                    " out of range");
+    return modelSpecs[insts[instance_idx].specIdx].model;
+}
+
+std::size_t
+Workload::totalLayers() const
+{
+    std::size_t total = 0;
+    for (const Instance &inst : insts)
+        total += modelSpecs[inst.specIdx].model.numLayers();
+    return total;
+}
+
+std::uint64_t
+Workload::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const Instance &inst : insts)
+        total += modelSpecs[inst.specIdx].model.totalMacs();
+    return total;
+}
+
+Workload
+arvrA()
+{
+    Workload wl("AR/VR-A");
+    wl.addModel(dnn::resnet50(), 2);
+    wl.addModel(dnn::uNet(), 4);
+    wl.addModel(dnn::mobileNetV2(), 4);
+    return wl;
+}
+
+Workload
+arvrB()
+{
+    Workload wl("AR/VR-B");
+    wl.addModel(dnn::resnet50(), 2);
+    wl.addModel(dnn::uNet(), 2);
+    wl.addModel(dnn::mobileNetV2(), 4);
+    wl.addModel(dnn::brqHandposeNet(), 2);
+    wl.addModel(dnn::focalLengthDepthNet(), 2);
+    return wl;
+}
+
+Workload
+mlperf(int batch)
+{
+    Workload wl(batch == 1 ? "MLPerf"
+                           : "MLPerf-b" + std::to_string(batch));
+    wl.addModel(dnn::resnet50(), batch);
+    wl.addModel(dnn::mobileNetV1(), batch);
+    wl.addModel(dnn::ssdResnet34(), batch);
+    wl.addModel(dnn::ssdMobileNetV1(), batch);
+    wl.addModel(dnn::gnmt(), batch);
+    return wl;
+}
+
+} // namespace herald::workload

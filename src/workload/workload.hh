@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-DNN workloads (Table II): a set of models, each with a batch
+ * count modeling that sub-task's target processing rate. Every batch
+ * expands into an independent model instance: instances have no
+ * cross-dependences, while layers within one instance form a linear
+ * dependence chain — exactly the structure the paper's scheduling
+ * heuristics exploit.
+ */
+
+#ifndef HERALD_WORKLOAD_WORKLOAD_HH
+#define HERALD_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/model.hh"
+
+namespace herald::workload
+{
+
+/** One model plus its batch count. */
+struct ModelSpec
+{
+    dnn::Model model;
+    int batches = 1;
+};
+
+/** One independent executable copy of a model (one batch element). */
+struct Instance
+{
+    std::size_t specIdx = 0; //!< index into specs()
+    int batchIdx = 0;        //!< which batch element this is
+    std::string name;        //!< e.g. "Resnet50#1"
+};
+
+/** A named multi-DNN workload. */
+class Workload
+{
+  public:
+    explicit Workload(std::string name) : wlName(std::move(name)) {}
+
+    /** Add @p model with @p batches independent copies. */
+    void addModel(dnn::Model model, int batches = 1);
+
+    const std::string &name() const { return wlName; }
+    const std::vector<ModelSpec> &specs() const { return modelSpecs; }
+    const std::vector<Instance> &instances() const { return insts; }
+    std::size_t numInstances() const { return insts.size(); }
+
+    /** The model an instance executes. */
+    const dnn::Model &modelOf(std::size_t instance_idx) const;
+
+    /** Total schedulable layers across all instances. */
+    std::size_t totalLayers() const;
+
+    /** Total MACs across all instances. */
+    std::uint64_t totalMacs() const;
+
+  private:
+    std::string wlName;
+    std::vector<ModelSpec> modelSpecs;
+    std::vector<Instance> insts;
+};
+
+/** AR/VR-A: Resnet50 x2, UNet x4, MobileNetV2 x4 (Table II). */
+Workload arvrA();
+
+/** AR/VR-B: adds Br-Q Handpose x2 and DepthNet x2 (Table II). */
+Workload arvrB();
+
+/** MLPerf multi-stream: 5 models, @p batch copies each (Table II). */
+Workload mlperf(int batch = 1);
+
+} // namespace herald::workload
+
+#endif // HERALD_WORKLOAD_WORKLOAD_HH

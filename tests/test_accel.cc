@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the accel module: accelerator classes, factory
+ * invariants (Definition 1: shares sum to the chip budget), resource
+ * views, and the RDA overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/rda.hh"
+#include "dnn/layer.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace herald;
+using accel::Accelerator;
+using accel::AcceleratorClass;
+using accel::AcceleratorKind;
+using dataflow::DataflowStyle;
+
+class AccelTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+};
+
+TEST_F(AccelTest, TableIvClasses)
+{
+    AcceleratorClass edge = accel::edgeClass();
+    EXPECT_EQ(edge.numPes, 1024u);
+    EXPECT_DOUBLE_EQ(edge.bwGBps, 16.0);
+    EXPECT_EQ(edge.globalBufferBytes, 4ull << 20);
+
+    AcceleratorClass mobile = accel::mobileClass();
+    EXPECT_EQ(mobile.numPes, 4096u);
+    EXPECT_DOUBLE_EQ(mobile.bwGBps, 64.0);
+    EXPECT_EQ(mobile.globalBufferBytes, 8ull << 20);
+
+    AcceleratorClass cloud = accel::cloudClass();
+    EXPECT_EQ(cloud.numPes, 16384u);
+    EXPECT_DOUBLE_EQ(cloud.bwGBps, 256.0);
+    EXPECT_EQ(cloud.globalBufferBytes, 16ull << 20);
+
+    EXPECT_EQ(accel::allClasses().size(), 3u);
+}
+
+TEST_F(AccelTest, FdaUsesWholeBudget)
+{
+    Accelerator fda = Accelerator::makeFda(accel::edgeClass(),
+                                           DataflowStyle::NVDLA);
+    EXPECT_EQ(fda.kind(), AcceleratorKind::FDA);
+    ASSERT_EQ(fda.numSubAccs(), 1u);
+    EXPECT_EQ(fda.subAccs()[0].numPes, 1024u);
+    EXPECT_DOUBLE_EQ(fda.subAccs()[0].bwGBps, 16.0);
+    EXPECT_FALSE(fda.subAccs()[0].flexible);
+}
+
+TEST_F(AccelTest, ScaledOutFdaEvenSplit)
+{
+    Accelerator sm = Accelerator::makeScaledOutFda(
+        accel::mobileClass(), DataflowStyle::ShiDiannao, 2);
+    EXPECT_EQ(sm.kind(), AcceleratorKind::SMFDA);
+    ASSERT_EQ(sm.numSubAccs(), 2u);
+    for (const auto &sub : sm.subAccs()) {
+        EXPECT_EQ(sub.numPes, 2048u);
+        EXPECT_DOUBLE_EQ(sub.bwGBps, 32.0);
+        EXPECT_EQ(sub.style, DataflowStyle::ShiDiannao);
+    }
+}
+
+TEST_F(AccelTest, ScaledOutFdaRejectsUnevenSplit)
+{
+    EXPECT_THROW(Accelerator::makeScaledOutFda(accel::mobileClass(),
+                                               DataflowStyle::NVDLA, 3),
+                 std::runtime_error);
+}
+
+TEST_F(AccelTest, RdaIsFlexibleMonolith)
+{
+    Accelerator rda = Accelerator::makeRda(accel::cloudClass());
+    EXPECT_EQ(rda.kind(), AcceleratorKind::RDA);
+    ASSERT_EQ(rda.numSubAccs(), 1u);
+    EXPECT_TRUE(rda.subAccs()[0].flexible);
+    EXPECT_EQ(rda.subAccs()[0].numPes, 16384u);
+}
+
+TEST_F(AccelTest, HdaPartitioning)
+{
+    Accelerator hda = Accelerator::makeHda(
+        accel::cloudClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+        {9728, 6656}, {224.0, 32.0});
+    EXPECT_EQ(hda.kind(), AcceleratorKind::HDA);
+    ASSERT_EQ(hda.numSubAccs(), 2u);
+    EXPECT_EQ(hda.subAccs()[0].numPes, 9728u);
+    EXPECT_EQ(hda.subAccs()[1].numPes, 6656u);
+}
+
+TEST_F(AccelTest, HdaRejectsBadPeSum)
+{
+    EXPECT_THROW(
+        Accelerator::makeHda(
+            accel::cloudClass(),
+            {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+            {8192, 4096}, {128.0, 128.0}),
+        std::runtime_error);
+}
+
+TEST_F(AccelTest, HdaRejectsBadBwSum)
+{
+    EXPECT_THROW(
+        Accelerator::makeHda(
+            accel::cloudClass(),
+            {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+            {8192, 8192}, {128.0, 64.0}),
+        std::runtime_error);
+}
+
+TEST_F(AccelTest, HdaRejectsArityMismatch)
+{
+    EXPECT_THROW(Accelerator::makeHda(accel::cloudClass(),
+                                      {DataflowStyle::NVDLA},
+                                      {8192, 8192}, {128.0, 128.0}),
+                 std::runtime_error);
+}
+
+TEST_F(AccelTest, ResourcesSplitGlobalBuffer)
+{
+    Accelerator hda = Accelerator::makeHda(
+        accel::mobileClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+        {1536, 2560}, {48.0, 16.0});
+    cost::SubAccResources r0 = hda.resources(0);
+    cost::SubAccResources r1 = hda.resources(1);
+    EXPECT_EQ(r0.numPes, 1536u);
+    EXPECT_DOUBLE_EQ(r0.bwGBps, 48.0);
+    EXPECT_EQ(r0.l2Bytes, (8ull << 20) / 2);
+    EXPECT_EQ(r1.l2Bytes, (8ull << 20) / 2);
+}
+
+TEST_F(AccelTest, ResourcesOutOfRangePanics)
+{
+    Accelerator fda = Accelerator::makeFda(accel::edgeClass(),
+                                           DataflowStyle::NVDLA);
+    EXPECT_THROW(fda.resources(1), std::logic_error);
+}
+
+TEST_F(AccelTest, FixedSubAccUsesItsStyle)
+{
+    cost::CostModel model;
+    Accelerator fda = Accelerator::makeFda(accel::edgeClass(),
+                                           DataflowStyle::Eyeriss);
+    dnn::Layer layer = dnn::makeConv("c", 64, 32, 56, 56, 3, 3);
+    accel::StyledLayerCost sc =
+        accel::evaluateOnSubAcc(model, fda, 0, layer);
+    EXPECT_EQ(sc.style, DataflowStyle::Eyeriss);
+}
+
+TEST_F(AccelTest, RdaPicksBestStyle)
+{
+    cost::CostModel model;
+    Accelerator rda = Accelerator::makeRda(accel::edgeClass());
+
+    // Depthwise layer: channel-parallel NVDLA collapses, so the RDA
+    // must not pick it.
+    dnn::Layer dw = dnn::makeDepthwise("dw", 32, 58, 58, 3, 3);
+    accel::StyledLayerCost sc =
+        accel::evaluateOnSubAcc(model, rda, 0, dw);
+    EXPECT_NE(sc.style, DataflowStyle::NVDLA);
+
+    // Huge FC: only NVDLA parallelizes channels.
+    dnn::Layer fc = dnn::makeFullyConnected("fc", 4096, 4096);
+    accel::StyledLayerCost fc_sc =
+        accel::evaluateOnSubAcc(model, rda, 0, fc);
+    EXPECT_EQ(fc_sc.style, DataflowStyle::NVDLA);
+}
+
+TEST_F(AccelTest, RdaPaysEnergyTax)
+{
+    cost::CostModel model;
+    Accelerator rda = Accelerator::makeRda(accel::edgeClass());
+    Accelerator fda = Accelerator::makeFda(accel::edgeClass(),
+                                           DataflowStyle::NVDLA);
+    dnn::Layer fc = dnn::makeFullyConnected("fc", 4096, 4096);
+
+    accel::StyledLayerCost on_rda =
+        accel::evaluateOnSubAcc(model, rda, 0, fc);
+    accel::StyledLayerCost on_fda =
+        accel::evaluateOnSubAcc(model, fda, 0, fc);
+    // Same chosen style and resources, but the RDA pays the
+    // interconnect tax and reconfiguration cost.
+    ASSERT_EQ(on_rda.style, DataflowStyle::NVDLA);
+    EXPECT_GT(on_rda.cost.energyUnits, on_fda.cost.energyUnits);
+    EXPECT_GT(on_rda.cost.cycles, on_fda.cost.cycles);
+}
+
+TEST_F(AccelTest, RdaOverheadsScaleWithPes)
+{
+    cost::CostModel model;
+    Accelerator small = Accelerator::makeRda(accel::edgeClass());
+    Accelerator big = Accelerator::makeRda(accel::cloudClass());
+    dnn::Layer fc = dnn::makeFullyConnected("fc", 512, 512);
+    accel::RdaOverheads rda;
+    double small_reconfig =
+        rda.reconfigBaseCycles +
+        rda.reconfigCyclesPerPe * 1024.0;
+    double big_reconfig =
+        rda.reconfigBaseCycles +
+        rda.reconfigCyclesPerPe * 16384.0;
+    EXPECT_GT(big_reconfig, small_reconfig);
+    // And the modeled layers indeed carry those extra cycles.
+    accel::StyledLayerCost sc_small =
+        accel::evaluateOnSubAcc(model, small, 0, fc, rda);
+    accel::StyledLayerCost sc_big =
+        accel::evaluateOnSubAcc(model, big, 0, fc, rda);
+    EXPECT_GT(sc_small.cost.cycles, 0.0);
+    EXPECT_GT(sc_big.cost.cycles, 0.0);
+}
+
+TEST_F(AccelTest, KindNames)
+{
+    EXPECT_STREQ(accel::toString(AcceleratorKind::FDA), "FDA");
+    EXPECT_STREQ(accel::toString(AcceleratorKind::SMFDA), "SM-FDA");
+    EXPECT_STREQ(accel::toString(AcceleratorKind::RDA), "RDA");
+    EXPECT_STREQ(accel::toString(AcceleratorKind::HDA), "HDA");
+}
+
+TEST_F(AccelTest, SubAcceleratorLabel)
+{
+    accel::SubAccelerator sub;
+    sub.style = DataflowStyle::NVDLA;
+    sub.numPes = 4096;
+    sub.bwGBps = 64.0;
+    EXPECT_EQ(accel::toString(sub), "nvdla:4096pe/64GBps");
+}
+
+} // namespace

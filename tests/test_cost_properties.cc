@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Property-based tests: invariants of the mapper + cost model swept
+ * over a grid of layer shapes, dataflow styles and PE counts via
+ * parameterized gtest. These pin down the physics of the model: data
+ * delivered at least covers the data needed, rooflines bound latency,
+ * utilization is a fraction, and monotonicity holds in bandwidth and
+ * energy coefficients.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cost/cost_model.hh"
+#include "cost/reuse_analysis.hh"
+#include "dataflow/mapper.hh"
+#include "dnn/layer.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace herald;
+using dataflow::DataflowStyle;
+using dataflow::TensorKind;
+
+/** Layer shapes covering the workloads' extremes. */
+std::vector<dnn::Layer>
+propertyLayers()
+{
+    return {
+        dnn::makeConv("early_classifier", 64, 3, 112, 112, 3, 3, 2),
+        dnn::makeConv("mid_classifier", 128, 128, 28, 28, 3, 3),
+        dnn::makeConv("late_classifier", 512, 512, 9, 9, 3, 3),
+        dnn::makeConv("segmentation", 64, 64, 570, 570, 3, 3),
+        dnn::makePointwise("expand", 192, 32, 56, 56),
+        dnn::makeDepthwise("dw_stride", 144, 57, 57, 3, 3, 2),
+        dnn::makeDepthwise("dw_unit", 32, 112, 112, 3, 3),
+        dnn::makeFullyConnected("fc_narrow", 63, 1024),
+        dnn::makeFullyConnected("fc_huge", 4096, 4096),
+        dnn::makeTransposedConv("upconv", 512, 1024, 28, 28, 2, 2, 2),
+        dnn::makeConv("gemm_tokens", 4096, 2048, 20, 1, 1, 1),
+        dnn::makeConv("tiny", 2, 2, 4, 4, 2, 2),
+        dnn::makeConv("odd_sizes", 65, 33, 29, 31, 3, 5),
+    };
+}
+
+using PropertyParam =
+    std::tuple<std::size_t /*layer idx*/, DataflowStyle,
+               std::uint64_t /*pes*/>;
+
+class CostProperty : public ::testing::TestWithParam<PropertyParam>
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    dnn::Layer
+    layer() const
+    {
+        return propertyLayers().at(std::get<0>(GetParam()));
+    }
+
+    DataflowStyle
+    style() const
+    {
+        return std::get<1>(GetParam());
+    }
+
+    cost::SubAccResources
+    res() const
+    {
+        cost::SubAccResources r;
+        r.numPes = std::get<2>(GetParam());
+        r.bwGBps = 32.0;
+        r.l2Bytes = 2ULL << 20;
+        return r;
+    }
+
+    dataflow::Mapping
+    mapping() const
+    {
+        dataflow::MapperConstraints hw;
+        hw.numPes = res().numPes;
+        hw.l2TileBudgetBytes = res().l2Bytes;
+        return buildMapping(style(), layer(), hw);
+    }
+};
+
+TEST_P(CostProperty, MappingIsLegal)
+{
+    dataflow::Mapping m = mapping();
+    EXPECT_LE(m.spatialSize(), res().numPes);
+    EXPECT_GE(m.paddedMacs(), layer().macs());
+    EXPECT_GT(m.mappingUtilization(), 0.0);
+    EXPECT_LE(m.mappingUtilization(), 1.0);
+    EXPECT_GT(m.edgeUtilization(), 0.0);
+    EXPECT_LE(m.edgeUtilization(), 1.0);
+}
+
+TEST_P(CostProperty, DeliveredDataCoversFootprint)
+{
+    cost::ReuseReport r = cost::analyzeMapping(mapping());
+    for (TensorKind t : {TensorKind::Input, TensorKind::Weight,
+                         TensorKind::Output}) {
+        const cost::TensorTraffic &tt = r.of(t);
+        // Every element must be delivered at least once.
+        EXPECT_GE(tt.l2Words(), tt.wholeElems)
+            << dataflow::toString(t);
+        // Multicast means more consumers than deliveries, never less.
+        EXPECT_GE(tt.multicast(), 1.0 - 1e-9)
+            << dataflow::toString(t);
+    }
+}
+
+TEST_P(CostProperty, MacDecompositionConsistent)
+{
+    dataflow::Mapping m = mapping();
+    cost::ReuseReport r = cost::analyzeMapping(m);
+    EXPECT_EQ(r.outerIters * r.innerMacsPerPe * r.spatialSize,
+              m.paddedMacs());
+}
+
+TEST_P(CostProperty, LatencyBounds)
+{
+    cost::CostModel model;
+    cost::LayerCost c = model.evaluate(layer(), style(), res());
+    // Compute roofline: can't beat perfect parallelism over all PEs.
+    EXPECT_GE(c.computeCycles + 1e-9,
+              static_cast<double>(layer().macs()) /
+                  static_cast<double>(res().numPes));
+    // Total covers every roofline component.
+    EXPECT_GE(c.cycles, c.computeCycles);
+    EXPECT_GE(c.cycles, c.nocCycles);
+    EXPECT_GE(c.cycles, c.dramCycles);
+    EXPECT_GT(c.latencySec, 0.0);
+}
+
+TEST_P(CostProperty, EnergyPositiveAndDecomposed)
+{
+    cost::CostModel model;
+    cost::LayerCost c = model.evaluate(layer(), style(), res());
+    EXPECT_GT(c.energyUnits, 0.0);
+    EXPECT_NEAR(c.energyUnits,
+                c.macEnergy + c.l1EnergyTotal + c.l2EnergyTotal +
+                    c.nocEnergyTotal + c.dramEnergyTotal +
+                    c.staticEnergyTotal,
+                c.energyUnits * 1e-12);
+    // MAC energy alone is a hard lower bound.
+    EXPECT_GE(c.energyUnits,
+              static_cast<double>(layer().macs()) - 1e-6);
+}
+
+TEST_P(CostProperty, HalvingBandwidthNeverSpeedsUp)
+{
+    cost::CostModel model;
+    cost::SubAccResources full = res();
+    cost::SubAccResources half = res();
+    half.bwGBps /= 2.0;
+    cost::LayerCost a = model.evaluate(layer(), style(), full);
+    cost::LayerCost b = model.evaluate(layer(), style(), half);
+    EXPECT_GE(b.cycles + 1e-9, a.cycles);
+}
+
+TEST_P(CostProperty, RaisingDramCostNeverLowersEnergy)
+{
+    cost::EnergyModel expensive;
+    expensive.dramEnergy *= 10.0;
+    cost::CostModel base;
+    cost::CostModel pricey(expensive);
+    cost::LayerCost a = base.evaluate(layer(), style(), res());
+    cost::LayerCost b = pricey.evaluate(layer(), style(), res());
+    EXPECT_GE(b.energyUnits + 1e-9, a.energyUnits);
+}
+
+TEST_P(CostProperty, DisablingForwardingNeverLowersDram)
+{
+    cost::CostOptions no_fwd;
+    no_fwd.forwardActivationsThroughL2 = false;
+    cost::CostModel with(cost::EnergyModel{}, cost::CostOptions{});
+    cost::CostModel without(cost::EnergyModel{}, no_fwd);
+    cost::LayerCost a = with.evaluate(layer(), style(), res());
+    cost::LayerCost b = without.evaluate(layer(), style(), res());
+    EXPECT_GE(b.dramBytes + 1e-9, a.dramBytes);
+}
+
+TEST_P(CostProperty, StagingFootprintWithinBudgetOrWarned)
+{
+    // The mapper targets the L2 staging budget; for every shape in
+    // the sweep it must actually meet it (no shape here is so
+    // degenerate that a unit tile overflows 2 MiB).
+    cost::CostModel model;
+    cost::LayerCost c = model.evaluate(layer(), style(), res());
+    EXPECT_LE(c.l2FootprintBytes, res().l2Bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CostProperty,
+    ::testing::Combine(
+        ::testing::Range<std::size_t>(0, propertyLayers().size()),
+        ::testing::Values(DataflowStyle::NVDLA,
+                          DataflowStyle::ShiDiannao,
+                          DataflowStyle::Eyeriss),
+        ::testing::Values<std::uint64_t>(64, 1024, 16384)),
+    [](const ::testing::TestParamInfo<PropertyParam> &info) {
+        return propertyLayers()[std::get<0>(info.param)].name() + "_" +
+               dataflow::shortName(std::get<1>(info.param)) + "_" +
+               std::to_string(std::get<2>(info.param)) + "pe";
+    });
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the dataflow module: loop-nest invariants, tensor
+ * footprints/dependences, and per-style mapping construction
+ * (including the Fig. 5 utilization scenarios).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/loop_nest.hh"
+#include "dataflow/mapper.hh"
+#include "dataflow/style.hh"
+#include "dnn/layer.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace herald::dataflow;
+using herald::dnn::CanonicalConv;
+using herald::dnn::Layer;
+using herald::dnn::makeConv;
+using herald::dnn::makeDepthwise;
+using herald::dnn::makeFullyConnected;
+
+class DataflowTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { herald::util::setVerbose(false); }
+
+    MapperConstraints
+    hw(std::uint64_t pes)
+    {
+        MapperConstraints c;
+        c.numPes = pes;
+        return c;
+    }
+};
+
+TEST_F(DataflowTest, TensorDependences)
+{
+    CanonicalConv conv = makeConv("c", 8, 4, 7, 7, 3, 3).canonical();
+    EXPECT_FALSE(tensorUsesDim(conv, TensorKind::Input, Dim::K));
+    EXPECT_TRUE(tensorUsesDim(conv, TensorKind::Input, Dim::C));
+    EXPECT_TRUE(tensorUsesDim(conv, TensorKind::Input, Dim::OY));
+    EXPECT_TRUE(tensorUsesDim(conv, TensorKind::Input, Dim::R));
+    EXPECT_TRUE(tensorUsesDim(conv, TensorKind::Weight, Dim::K));
+    EXPECT_FALSE(tensorUsesDim(conv, TensorKind::Weight, Dim::OY));
+    EXPECT_TRUE(tensorUsesDim(conv, TensorKind::Output, Dim::K));
+    EXPECT_FALSE(tensorUsesDim(conv, TensorKind::Output, Dim::C));
+}
+
+TEST_F(DataflowTest, DepthwiseDependencesFollowK)
+{
+    CanonicalConv dw = makeDepthwise("dw", 8, 7, 7, 3, 3).canonical();
+    EXPECT_TRUE(tensorUsesDim(dw, TensorKind::Input, Dim::K));
+    EXPECT_FALSE(tensorUsesDim(dw, TensorKind::Input, Dim::C));
+    EXPECT_TRUE(tensorUsesDim(dw, TensorKind::Weight, Dim::K));
+    EXPECT_FALSE(tensorUsesDim(dw, TensorKind::Weight, Dim::C));
+}
+
+TEST_F(DataflowTest, FootprintWholeLayer)
+{
+    CanonicalConv conv = makeConv("c", 8, 4, 7, 7, 3, 3).canonical();
+    RegionExtents whole;
+    whole.multiply(Dim::K, 8);
+    whole.multiply(Dim::C, 4);
+    whole.multiply(Dim::OY, 5);
+    whole.multiply(Dim::OX, 5);
+    whole.multiply(Dim::R, 3);
+    whole.multiply(Dim::S, 3);
+    // Input: 4ch x ((5-1)+3)=7 rows x 7 cols.
+    EXPECT_EQ(tensorFootprint(conv, TensorKind::Input, whole),
+              4ull * 7 * 7);
+    EXPECT_EQ(tensorFootprint(conv, TensorKind::Weight, whole),
+              8ull * 4 * 3 * 3);
+    EXPECT_EQ(tensorFootprint(conv, TensorKind::Output, whole),
+              8ull * 5 * 5);
+}
+
+TEST_F(DataflowTest, FootprintHaloWithStride)
+{
+    CanonicalConv conv =
+        makeConv("c", 8, 4, 15, 15, 3, 3, 2).canonical();
+    ASSERT_EQ(conv.oy, 7u);
+    RegionExtents region;
+    region.multiply(Dim::OY, 4);
+    region.multiply(Dim::R, 3);
+    // 4 output rows at stride 2 with 3-tap filter: 3*2+3 = 9 rows.
+    region.multiply(Dim::C, 2);
+    EXPECT_EQ(tensorFootprint(conv, TensorKind::Input, region),
+              2ull * 9 * 1);
+}
+
+TEST_F(DataflowTest, MappingValidationCoversDims)
+{
+    CanonicalConv conv = makeConv("c", 8, 4, 7, 7, 3, 3).canonical();
+    // K covered with 4 < 8: must be rejected.
+    std::vector<LoopLevel> nest{
+        LoopLevel{Dim::K, 4, LoopKind::Spatial},
+        LoopLevel{Dim::C, 4, LoopKind::Temporal},
+        LoopLevel{Dim::OY, 5, LoopKind::Temporal},
+        LoopLevel{Dim::OX, 5, LoopKind::Temporal},
+        LoopLevel{Dim::R, 3, LoopKind::Temporal},
+        LoopLevel{Dim::S, 3, LoopKind::Temporal}};
+    EXPECT_THROW(Mapping(conv, nest, 16), std::runtime_error);
+}
+
+TEST_F(DataflowTest, MappingRejectsOversizedSpatial)
+{
+    CanonicalConv conv = makeConv("c", 8, 4, 7, 7, 3, 3).canonical();
+    std::vector<LoopLevel> nest{
+        LoopLevel{Dim::K, 8, LoopKind::Spatial},
+        LoopLevel{Dim::C, 4, LoopKind::Spatial},
+        LoopLevel{Dim::OY, 5, LoopKind::Temporal},
+        LoopLevel{Dim::OX, 5, LoopKind::Temporal},
+        LoopLevel{Dim::R, 3, LoopKind::Temporal},
+        LoopLevel{Dim::S, 3, LoopKind::Temporal}};
+    EXPECT_THROW(Mapping(conv, nest, 16), std::runtime_error);
+}
+
+TEST_F(DataflowTest, MapperCoversEveryDim)
+{
+    // Property over all styles: padded extents cover the layer and
+    // spatial size respects the PE budget.
+    Layer layer = makeConv("c", 64, 32, 56, 56, 3, 3);
+    for (DataflowStyle style : kAllStyles) {
+        Mapping m = buildMapping(style, layer, hw(256));
+        EXPECT_LE(m.spatialSize(), 256u) << toString(style);
+        EXPECT_GE(m.paddedExtent(Dim::K), 64u) << toString(style);
+        EXPECT_GE(m.paddedExtent(Dim::C), 32u) << toString(style);
+        EXPECT_GE(m.paddedExtent(Dim::OY), 54u) << toString(style);
+        EXPECT_GE(m.paddedExtent(Dim::OX), 54u) << toString(style);
+        EXPECT_GE(m.paddedExtent(Dim::R), 3u) << toString(style);
+        EXPECT_GE(m.paddedExtent(Dim::S), 3u) << toString(style);
+    }
+}
+
+TEST_F(DataflowTest, NvdlaUnrollsChannels)
+{
+    // Deep-channel layer: NVDLA saturates the array.
+    Layer layer = makeConv("c", 256, 256, 16, 16, 3, 3);
+    Mapping m = buildMapping(DataflowStyle::NVDLA, layer, hw(256));
+    EXPECT_EQ(m.spatialSize(), 256u);
+    EXPECT_DOUBLE_EQ(m.mappingUtilization(), 1.0);
+}
+
+TEST_F(DataflowTest, NvdlaStarvesOnShallowChannels)
+{
+    // UNet conv1-like: C=1 leaves all but one input-channel lane of
+    // the wired 8x32 array idle: 8 of 256 PEs.
+    Layer layer = makeConv("c", 64, 1, 64, 64, 3, 3);
+    Mapping m = buildMapping(DataflowStyle::NVDLA, layer, hw(256));
+    EXPECT_EQ(m.spatialSize(), 8u);
+    EXPECT_DOUBLE_EQ(m.mappingUtilization(), 8.0 / 256.0);
+}
+
+TEST_F(DataflowTest, NvdlaDepthwiseUtilizationCollapse)
+{
+    // Fig. 5 layer 3: DW conv cannot unroll C; K=2 on 16 PEs = 12.5%.
+    Layer layer = makeDepthwise("dw", 2, 6, 6, 3, 3);
+    Mapping m = buildMapping(DataflowStyle::NVDLA, layer, hw(16));
+    EXPECT_DOUBLE_EQ(m.mappingUtilization(), 2.0 / 16.0);
+}
+
+TEST_F(DataflowTest, ShiDiannaoSaturatesOnLargeActivation)
+{
+    // Fig. 5 layer 1/3 pattern: 4x4 output on 16 PEs = 100%.
+    Layer layer = makeConv("c", 3, 3, 6, 6, 3, 3);
+    Mapping m =
+        buildMapping(DataflowStyle::ShiDiannao, layer, hw(16));
+    EXPECT_DOUBLE_EQ(m.mappingUtilization(), 1.0);
+}
+
+TEST_F(DataflowTest, ShiDiannaoStarvesOnSmallActivation)
+{
+    // Fig. 5 layer 2 pattern: 2x2 output on 16 PEs = 25%.
+    Layer layer = makeConv("c", 16, 3, 5, 5, 4, 4);
+    ASSERT_EQ(layer.outY(), 2u);
+    Mapping m =
+        buildMapping(DataflowStyle::ShiDiannao, layer, hw(16));
+    EXPECT_DOUBLE_EQ(m.mappingUtilization(), 4.0 / 16.0);
+}
+
+TEST_F(DataflowTest, ShiDiannaoFcDegenerates)
+{
+    // FC has a 1x1 output plane: one PE.
+    Layer layer = makeFullyConnected("fc", 1000, 2048);
+    Mapping m =
+        buildMapping(DataflowStyle::ShiDiannao, layer, hw(256));
+    EXPECT_EQ(m.spatialSize(), 1u);
+}
+
+TEST_F(DataflowTest, EyerissUnrollsRowsAndFilterRows)
+{
+    Layer layer = makeConv("c", 64, 32, 58, 58, 3, 3);
+    Mapping m = buildMapping(DataflowStyle::Eyeriss, layer, hw(256));
+    // 3 filter rows x min(56, 256/3 = 85) = 3*56 = 168 PEs.
+    EXPECT_EQ(m.spatialSize(), 168u);
+}
+
+TEST_F(DataflowTest, DepthwiseMappingsKeepCAtOne)
+{
+    Layer layer = makeDepthwise("dw", 32, 16, 16, 3, 3);
+    for (DataflowStyle style : kAllStyles) {
+        Mapping m = buildMapping(style, layer, hw(64));
+        EXPECT_EQ(m.paddedExtent(Dim::C), 1u) << toString(style);
+    }
+}
+
+TEST_F(DataflowTest, PaddedMacsAtLeastTrueMacs)
+{
+    Layer layer = makeConv("c", 65, 33, 29, 29, 3, 3);
+    for (DataflowStyle style : kAllStyles) {
+        Mapping m = buildMapping(style, layer, hw(100));
+        EXPECT_GE(m.paddedMacs(), layer.macs()) << toString(style);
+        EXPECT_GT(m.edgeUtilization(), 0.0);
+        EXPECT_LE(m.edgeUtilization(), 1.0);
+    }
+}
+
+TEST_F(DataflowTest, MappingPrintsLoopNest)
+{
+    Layer layer = makeConv("c", 8, 4, 7, 7, 3, 3);
+    Mapping m = buildMapping(DataflowStyle::NVDLA, layer, hw(16));
+    std::string text = m.toString();
+    EXPECT_NE(text.find("pfor"), std::string::npos);
+    EXPECT_NE(text.find("for"), std::string::npos);
+}
+
+TEST_F(DataflowTest, SinglePeMapping)
+{
+    // Everything must still map on a single-PE accelerator.
+    Layer layer = makeConv("c", 8, 4, 7, 7, 3, 3);
+    for (DataflowStyle style : kAllStyles) {
+        Mapping m = buildMapping(style, layer, hw(1));
+        EXPECT_EQ(m.spatialSize(), 1u) << toString(style);
+        EXPECT_GE(m.paddedMacs(), layer.macs()) << toString(style);
+    }
+}
+
+TEST_F(DataflowTest, StyleNames)
+{
+    EXPECT_STREQ(toString(DataflowStyle::NVDLA), "NVDLA");
+    EXPECT_STREQ(shortName(DataflowStyle::ShiDiannao), "shi");
+    EXPECT_STREQ(toString(DataflowStyle::Eyeriss), "Eyeriss");
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the dnn module: layer geometry, canonicalization,
+ * MAC/byte counting, validation, and the Model container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/layer.hh"
+#include "dnn/model.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace herald::dnn;
+
+class DnnTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { herald::util::setVerbose(false); }
+};
+
+TEST_F(DnnTest, ConvOutputSize)
+{
+    // 7x7 input, 3x3 filter, stride 1 -> 5x5 output.
+    Layer l = makeConv("c", 8, 4, 7, 7, 3, 3);
+    EXPECT_EQ(l.outY(), 5u);
+    EXPECT_EQ(l.outX(), 5u);
+}
+
+TEST_F(DnnTest, StridedConvOutputSize)
+{
+    // 224 input (pre-padded to 230 for SAME), 7x7 stride 2 -> 112.
+    Layer l = makeConv("c", 64, 3, 230, 230, 7, 7, 2);
+    EXPECT_EQ(l.outY(), 112u);
+    EXPECT_EQ(l.outX(), 112u);
+}
+
+TEST_F(DnnTest, ConvMacs)
+{
+    // K*C*OY*OX*R*S = 8*4*5*5*3*3.
+    Layer l = makeConv("c", 8, 4, 7, 7, 3, 3);
+    EXPECT_EQ(l.macs(), 8ull * 4 * 5 * 5 * 3 * 3);
+}
+
+TEST_F(DnnTest, PointwiseIsOneByOne)
+{
+    Layer l = makePointwise("pw", 16, 8, 10, 10);
+    EXPECT_EQ(l.kind(), LayerKind::PointwiseConv2D);
+    EXPECT_EQ(l.outY(), 10u);
+    EXPECT_EQ(l.macs(), 16ull * 8 * 10 * 10);
+}
+
+TEST_F(DnnTest, DepthwiseNoChannelReduction)
+{
+    // DW macs: C*OY*OX*R*S -- no cross-channel accumulation.
+    Layer l = makeDepthwise("dw", 32, 7, 7, 3, 3);
+    EXPECT_EQ(l.macs(), 32ull * 5 * 5 * 3 * 3);
+    EXPECT_TRUE(l.canonical().depthwise);
+    EXPECT_EQ(l.canonical().c, 1u);
+    EXPECT_EQ(l.canonical().k, 32u);
+}
+
+TEST_F(DnnTest, FullyConnectedAsDegenerateConv)
+{
+    Layer l = makeFullyConnected("fc", 1000, 2048);
+    EXPECT_EQ(l.macs(), 1000ull * 2048);
+    EXPECT_EQ(l.outY(), 1u);
+    EXPECT_EQ(l.outX(), 1u);
+}
+
+TEST_F(DnnTest, TransposedConvDoublesResolution)
+{
+    // UNet-style 2x2 stride-2 up-conv: output = 2x input, and each
+    // output element receives exactly one filter tap.
+    Layer l = makeTransposedConv("up", 64, 128, 28, 28, 2, 2, 2);
+    EXPECT_EQ(l.outY(), 56u);
+    EXPECT_EQ(l.outX(), 56u);
+    EXPECT_EQ(l.macs(), 64ull * 128 * 56 * 56 * 1 * 1);
+}
+
+TEST_F(DnnTest, TransposedConvKernel4Stride2)
+{
+    // DepthNet-style 4x4 up-conv, upscale 2: 2x2 taps per output.
+    Layer l = makeTransposedConv("up", 32, 64, 7, 7, 4, 4, 2);
+    EXPECT_EQ(l.outY(), 14u);
+    EXPECT_EQ(l.macs(), 32ull * 64 * 14 * 14 * 2 * 2);
+}
+
+TEST_F(DnnTest, TransposedConvInputFootprintShrinks)
+{
+    // The canonical form advances 1/2 input row per output row.
+    Layer l = makeTransposedConv("up", 8, 8, 10, 10, 2, 2, 2);
+    const CanonicalConv &cc = l.canonical();
+    // 20 output rows touch (20-1)*1/2 + 1 = 10 input rows.
+    EXPECT_EQ(cc.inputRows(cc.oy), 10u);
+}
+
+TEST_F(DnnTest, ByteCounts)
+{
+    Layer l = makeConv("c", 8, 4, 7, 7, 3, 3);
+    EXPECT_EQ(l.inputBytes(), 4ull * 7 * 7 * kDataBytes);
+    EXPECT_EQ(l.weightBytes(), 8ull * 4 * 3 * 3 * kDataBytes);
+    EXPECT_EQ(l.outputBytes(), 8ull * 5 * 5 * kDataBytes);
+}
+
+TEST_F(DnnTest, DepthwiseWeightBytes)
+{
+    Layer l = makeDepthwise("dw", 32, 7, 7, 3, 3);
+    EXPECT_EQ(l.weightBytes(), 32ull * 3 * 3 * kDataBytes);
+}
+
+TEST_F(DnnTest, ChannelActivationRatio)
+{
+    Layer l = makeConv("c", 64, 128, 32, 32, 3, 3);
+    EXPECT_DOUBLE_EQ(l.channelActivationRatio(), 128.0 / 32.0);
+    Layer fc = makeFullyConnected("fc", 10, 1024);
+    EXPECT_DOUBLE_EQ(fc.channelActivationRatio(), 1024.0);
+}
+
+TEST_F(DnnTest, ShapeKeyStableAndDiscriminating)
+{
+    Layer a = makeConv("a", 8, 4, 7, 7, 3, 3);
+    Layer b = makeConv("different-name", 8, 4, 7, 7, 3, 3);
+    Layer c = makeConv("c", 8, 4, 7, 7, 3, 1);
+    EXPECT_EQ(a.shapeKey(), b.shapeKey());
+    EXPECT_NE(a.shapeKey(), c.shapeKey());
+}
+
+TEST_F(DnnTest, ValidationRejectsZeroDims)
+{
+    EXPECT_THROW(makeConv("bad", 0, 4, 7, 7, 3, 3),
+                 std::runtime_error);
+}
+
+TEST_F(DnnTest, ValidationRejectsOversizedFilter)
+{
+    EXPECT_THROW(makeConv("bad", 8, 4, 2, 2, 3, 3),
+                 std::runtime_error);
+}
+
+TEST_F(DnnTest, ValidationRejectsDepthwiseChannelMismatch)
+{
+    EXPECT_THROW(Layer("bad", LayerKind::DepthwiseConv2D,
+                       LayerShape{8, 4, 7, 7, 3, 3, 1, 1}),
+                 std::runtime_error);
+}
+
+TEST_F(DnnTest, ValidationRejectsUpscaleOnConv)
+{
+    EXPECT_THROW(Layer("bad", LayerKind::Conv2D,
+                       LayerShape{8, 4, 7, 7, 3, 3, 1, 2}),
+                 std::runtime_error);
+}
+
+TEST_F(DnnTest, KindNames)
+{
+    EXPECT_STREQ(toString(LayerKind::Conv2D), "CONV2D");
+    EXPECT_STREQ(toString(LayerKind::DepthwiseConv2D), "DWCONV");
+    EXPECT_STREQ(toString(LayerKind::PointwiseConv2D), "PWCONV");
+    EXPECT_STREQ(toString(LayerKind::FullyConnected), "FC");
+    EXPECT_STREQ(toString(LayerKind::TransposedConv2D), "UPCONV");
+}
+
+TEST_F(DnnTest, ModelAccumulatesLayers)
+{
+    Model m("m");
+    m.addLayer(makeConv("c1", 8, 4, 7, 7, 3, 3));
+    m.addLayer(makeFullyConnected("fc", 10, 8));
+    EXPECT_EQ(m.numLayers(), 2u);
+    EXPECT_EQ(m.totalMacs(),
+              makeConv("c1", 8, 4, 7, 7, 3, 3).macs() + 10ull * 8);
+    EXPECT_EQ(m.layer(1).name(), "fc");
+}
+
+TEST_F(DnnTest, ModelLayerOutOfRangePanics)
+{
+    Model m("m");
+    m.addLayer(makeConv("c1", 8, 4, 7, 7, 3, 3));
+    EXPECT_THROW(m.layer(1), std::logic_error);
+}
+
+TEST_F(DnnTest, ModelRatioExtremes)
+{
+    Model m("m");
+    m.addLayer(makeConv("wide", 8, 3, 64, 64, 3, 3));  // 3/64
+    m.addLayer(makeFullyConnected("fc", 10, 1024));    // 1024
+    EXPECT_DOUBLE_EQ(m.minChannelActivationRatio(), 3.0 / 64.0);
+    EXPECT_DOUBLE_EQ(m.maxChannelActivationRatio(), 1024.0);
+}
+
+} // namespace

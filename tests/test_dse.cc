@@ -1,0 +1,222 @@
+/**
+ * @file
+ * DSE tests: partition enumeration, search strategies, and the
+ * Herald co-DSE driver (best-point selection, Pareto view, and the
+ * Fig. 6 phenomenon that an even PE split is not optimal in general).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/design_space.hh"
+#include "dse/herald_dse.hh"
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using dataflow::DataflowStyle;
+using dse::PartitionCandidate;
+using dse::PartitionSpaceOptions;
+using dse::SearchStrategy;
+
+class DseTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    workload::Workload
+    miniWorkload()
+    {
+        workload::Workload wl("mini");
+        wl.addModel(dnn::brqHandposeNet(), 2);
+        wl.addModel(dnn::mobileNetV2(), 1);
+        return wl;
+    }
+
+    cost::CostModel model;
+};
+
+TEST_F(DseTest, CompositionsTwoWay)
+{
+    auto comps = dse::enumerateCompositions(4, 2);
+    // {1,3} {2,2} {3,1}
+    ASSERT_EQ(comps.size(), 3u);
+    for (const auto &c : comps) {
+        EXPECT_EQ(c.size(), 2u);
+        EXPECT_EQ(c[0] + c[1], 4u);
+        EXPECT_GE(c[0], 1u);
+    }
+}
+
+TEST_F(DseTest, CompositionsThreeWay)
+{
+    // Compositions of 6 into 3 positive parts: C(5,2) = 10.
+    auto comps = dse::enumerateCompositions(6, 3);
+    EXPECT_EQ(comps.size(), 10u);
+}
+
+TEST_F(DseTest, CompositionsInfeasible)
+{
+    EXPECT_TRUE(dse::enumerateCompositions(1, 2).empty());
+    EXPECT_TRUE(dse::enumerateCompositions(4, 0).empty());
+}
+
+TEST_F(DseTest, CandidateGridCoversBudgets)
+{
+    PartitionSpaceOptions opts;
+    opts.peGranularity = 256;
+    opts.bwGranularity = 4.0;
+    auto cands = dse::generateCandidates(1024, 16.0, 2, opts);
+    // 3 PE splits x 3 BW splits.
+    EXPECT_EQ(cands.size(), 9u);
+    for (const PartitionCandidate &c : cands) {
+        EXPECT_EQ(c.peSplit[0] + c.peSplit[1], 1024u);
+        EXPECT_NEAR(c.bwSplit[0] + c.bwSplit[1], 16.0, 1e-9);
+        EXPECT_GE(c.peSplit[0], 256u);
+        EXPECT_GE(c.bwSplit[0], 4.0 - 1e-9);
+    }
+}
+
+TEST_F(DseTest, GranularityMustDivide)
+{
+    PartitionSpaceOptions opts;
+    opts.peGranularity = 300;
+    EXPECT_THROW(dse::generateCandidates(1024, 16.0, 2, opts),
+                 std::runtime_error);
+}
+
+TEST_F(DseTest, RandomSamplingIsDeterministicAndBounded)
+{
+    PartitionSpaceOptions opts;
+    opts.strategy = SearchStrategy::Random;
+    opts.randomSamples = 5;
+    opts.peGranularity = 64;
+    opts.bwGranularity = 1.0;
+    auto a = dse::generateCandidates(1024, 16.0, 2, opts);
+    auto b = dse::generateCandidates(1024, 16.0, 2, opts);
+    ASSERT_EQ(a.size(), 5u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].peSplit, b[i].peSplit);
+        EXPECT_EQ(a[i].bwSplit, b[i].bwSplit);
+    }
+}
+
+TEST_F(DseTest, BinaryStrategyIsCoarser)
+{
+    PartitionSpaceOptions fine;
+    fine.peGranularity = 64;
+    fine.bwGranularity = 1.0;
+    PartitionSpaceOptions coarse = fine;
+    coarse.strategy = SearchStrategy::Binary;
+    auto fine_c = dse::generateCandidates(1024, 16.0, 2, fine);
+    auto coarse_c = dse::generateCandidates(1024, 16.0, 2, coarse);
+    EXPECT_LT(coarse_c.size(), fine_c.size());
+}
+
+TEST_F(DseTest, RefineAroundStaysInBudget)
+{
+    PartitionSpaceOptions opts;
+    opts.peGranularity = 64;
+    opts.bwGranularity = 1.0;
+    PartitionCandidate center;
+    center.peSplit = {512, 512};
+    center.bwSplit = {8.0, 8.0};
+    auto cands = dse::refineAround(center, 1024, 16.0, opts);
+    EXPECT_FALSE(cands.empty());
+    for (const PartitionCandidate &c : cands) {
+        EXPECT_EQ(c.peSplit[0] + c.peSplit[1], 1024u);
+        EXPECT_NEAR(c.bwSplit[0] + c.bwSplit[1], 16.0, 1e-9);
+    }
+}
+
+TEST_F(DseTest, ExploreFindsBestPoint)
+{
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 256;
+    opts.partition.bwGranularity = 4.0;
+    dse::Herald herald(model, opts);
+    workload::Workload wl = miniWorkload();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    EXPECT_EQ(result.points.size(), 9u);
+    // Best index really is the EDP argmin.
+    double best = result.best().summary.edp();
+    for (const auto &p : result.points)
+        EXPECT_GE(p.summary.edp() + 1e-12, best);
+}
+
+TEST_F(DseTest, ExploreObjectiveLatency)
+{
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 256;
+    opts.partition.bwGranularity = 4.0;
+    opts.objective = sched::Metric::Latency;
+    dse::Herald herald(model, opts);
+    workload::Workload wl = miniWorkload();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    double best = result.best().summary.latencySec;
+    for (const auto &p : result.points)
+        EXPECT_GE(p.summary.latencySec + 1e-15, best);
+}
+
+TEST_F(DseTest, BinaryRefinementAddsPoints)
+{
+    dse::HeraldOptions coarse_only;
+    coarse_only.partition.peGranularity = 64;
+    coarse_only.partition.bwGranularity = 1.0;
+    coarse_only.partition.strategy = SearchStrategy::Binary;
+    dse::Herald herald(model, coarse_only);
+    workload::Workload wl = miniWorkload();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    // Coarse grid + refinement points were all evaluated.
+    PartitionSpaceOptions probe = coarse_only.partition;
+    auto coarse_cands =
+        dse::generateCandidates(1024, 16.0, 2, probe);
+    EXPECT_GT(result.points.size(), coarse_cands.size());
+}
+
+TEST_F(DseTest, EvaluateFixedAccelerator)
+{
+    dse::Herald herald(model);
+    workload::Workload wl = miniWorkload();
+    accel::Accelerator fda = accel::Accelerator::makeFda(
+        accel::edgeClass(), DataflowStyle::NVDLA);
+    dse::DsePoint point = herald.evaluate(wl, fda);
+    EXPECT_GT(point.summary.latencySec, 0.0);
+    EXPECT_GT(point.summary.energyMj, 0.0);
+}
+
+TEST_F(DseTest, DesignPointsExportForPareto)
+{
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 256;
+    opts.partition.bwGranularity = 8.0;
+    dse::Herald herald(model, opts);
+    workload::Workload wl = miniWorkload();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    auto points = result.designPoints();
+    EXPECT_EQ(points.size(), result.points.size());
+    auto front = util::paretoFront(points);
+    EXPECT_FALSE(front.empty());
+    EXPECT_LE(front.size(), points.size());
+}
+
+TEST_F(DseTest, ExploreRejectsEmptyStyles)
+{
+    dse::Herald herald(model);
+    workload::Workload wl = miniWorkload();
+    EXPECT_THROW(herald.explore(wl, accel::edgeClass(), {}),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's qualitative
+ * claims on reduced workloads (kept small so ctest stays fast):
+ *
+ *  - Fig. 2: NVDLA-style wins ResNet-like models, Shi-diannao/Eyeriss
+ *    win UNet-like models at 256 PEs / 32 GB/s.
+ *  - Fig. 11: a well-partitioned HDA beats the best FDA on EDP for a
+ *    heterogeneous multi-DNN workload.
+ *  - RDA-vs-HDA: the RDA is faster, the HDA is more energy-efficient.
+ *  - SM-FDA: homogeneous scale-out does not reach HDA EDP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "dnn/model_zoo.hh"
+#include "dse/herald_dse.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using accel::Accelerator;
+using dataflow::DataflowStyle;
+using sched::HeraldScheduler;
+using workload::Workload;
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    /** Fig. 2 accelerator: 256 PEs, 32 GB/s, 2 MiB buffer. */
+    accel::AcceleratorClass
+    fig2Class()
+    {
+        return accel::AcceleratorClass{"fig2", 256, 32.0, 2ULL << 20};
+    }
+
+    /**
+     * Reduced AR/VR-B-flavored workload: a segmentation network, a
+     * depthwise-heavy detector, and FC-heavy pose/depth models — the
+     * mix of compute-bound and DRAM-bound models whose layer
+     * parallelism and dataflow diversity HDAs exploit.
+     */
+    Workload
+    reducedHetero()
+    {
+        Workload wl("reduced-arvrb");
+        wl.addModel(dnn::uNet(), 1);
+        wl.addModel(dnn::mobileNetV2(), 2);
+        wl.addModel(dnn::brqHandposeNet(), 2);
+        wl.addModel(dnn::focalLengthDepthNet(), 1);
+        return wl;
+    }
+
+    sched::ScheduleSummary
+    run(const Workload &wl, const Accelerator &acc)
+    {
+        HeraldScheduler scheduler(model);
+        sched::Schedule s = scheduler.schedule(wl, acc);
+        EXPECT_EQ(s.validate(wl, acc), "");
+        return s.finalize(acc, model.energyModel());
+    }
+
+    cost::CostModel model;
+};
+
+TEST_F(IntegrationTest, Fig2ResnetPrefersNvdla)
+{
+    Workload wl("resnet");
+    wl.addModel(dnn::resnet50(), 1);
+    double nvdla =
+        run(wl, Accelerator::makeFda(fig2Class(), DataflowStyle::NVDLA))
+            .edp();
+    double shi = run(wl, Accelerator::makeFda(
+                             fig2Class(), DataflowStyle::ShiDiannao))
+                     .edp();
+    EXPECT_LT(nvdla, shi);
+}
+
+TEST_F(IntegrationTest, Fig2UnetPrefersActivationParallel)
+{
+    Workload wl("unet");
+    wl.addModel(dnn::uNet(), 1);
+    double nvdla =
+        run(wl, Accelerator::makeFda(fig2Class(), DataflowStyle::NVDLA))
+            .edp();
+    double shi = run(wl, Accelerator::makeFda(
+                             fig2Class(), DataflowStyle::ShiDiannao))
+                     .edp();
+    EXPECT_LT(shi, nvdla);
+}
+
+TEST_F(IntegrationTest, HdaBeatsBestFdaOnHeteroWorkload)
+{
+    Workload wl = reducedHetero();
+    accel::AcceleratorClass chip = accel::edgeClass();
+
+    double best_fda = 1e300;
+    for (DataflowStyle style : dataflow::kAllStyles) {
+        best_fda = std::min(
+            best_fda, run(wl, Accelerator::makeFda(chip, style)).edp());
+    }
+
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = chip.numPes / 8;
+    opts.partition.bwGranularity = chip.bwGBps / 4;
+    dse::Herald herald(model, opts);
+    dse::DseResult result = herald.explore(
+        wl, chip, {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+
+    EXPECT_LT(result.best().summary.edp(), best_fda);
+}
+
+TEST_F(IntegrationTest, RdaFasterButHungrierThanHda)
+{
+    Workload wl = reducedHetero();
+    accel::AcceleratorClass chip = accel::edgeClass();
+
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = chip.numPes / 8;
+    opts.partition.bwGranularity = chip.bwGBps / 4;
+    dse::Herald herald(model, opts);
+    dse::DseResult hda = herald.explore(
+        wl, chip, {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+
+    auto rda = run(wl, Accelerator::makeRda(chip));
+    const auto &best_hda = hda.best().summary;
+
+    EXPECT_LT(rda.latencySec, best_hda.latencySec);
+    EXPECT_LT(best_hda.energyMj, rda.energyMj);
+}
+
+TEST_F(IntegrationTest, SmFdaDoesNotReachHdaEdp)
+{
+    Workload wl = reducedHetero();
+    accel::AcceleratorClass chip = accel::edgeClass();
+
+    double best_smfda = 1e300;
+    for (DataflowStyle style : dataflow::kAllStyles) {
+        best_smfda = std::min(
+            best_smfda,
+            run(wl, Accelerator::makeScaledOutFda(chip, style, 2))
+                .edp());
+    }
+
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = chip.numPes / 8;
+    opts.partition.bwGranularity = chip.bwGBps / 4;
+    dse::Herald herald(model, opts);
+    dse::DseResult hda = herald.explore(
+        wl, chip, {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+
+    EXPECT_LT(hda.best().summary.edp(), best_smfda);
+}
+
+TEST_F(IntegrationTest, CostCacheMakesRepeatSchedulingCheap)
+{
+    Workload wl = reducedHetero();
+    Accelerator acc = Accelerator::makeHda(
+        accel::mobileClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+        {2048, 2048}, {32.0, 32.0});
+    HeraldScheduler scheduler(model);
+    scheduler.schedule(wl, acc);
+    std::size_t after_first = model.cacheSize();
+    scheduler.schedule(wl, acc);
+    EXPECT_EQ(model.cacheSize(), after_first);
+}
+
+} // namespace

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Model-zoo sanity tests: layer counts, geometry chains (each layer's
+ * input channels match its predecessor's output channels where the
+ * topology is linear), MAC totals in published ballparks, and the
+ * Table I channel-activation-ratio extremes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace herald::dnn;
+
+class ModelZooTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { herald::util::setVerbose(false); }
+};
+
+TEST_F(ModelZooTest, Resnet50LayerCount)
+{
+    Model m = resnet50();
+    // conv1 + 16 bottlenecks x 3 + 4 projections + fc = 54.
+    EXPECT_EQ(m.numLayers(), 54u);
+}
+
+TEST_F(ModelZooTest, Resnet50Macs)
+{
+    // Published ~4.1 GMACs at 224x224 (SAME padding raises ours
+    // slightly); accept 3.5-5.5 G.
+    Model m = resnet50();
+    EXPECT_GT(m.totalMacs(), 3'500'000'000ull);
+    EXPECT_LT(m.totalMacs(), 5'500'000'000ull);
+}
+
+TEST_F(ModelZooTest, Resnet50EndsWithClassifier)
+{
+    Model m = resnet50();
+    const Layer &fc = m.layer(m.numLayers() - 1);
+    EXPECT_EQ(fc.kind(), LayerKind::FullyConnected);
+    EXPECT_EQ(fc.shape().k, 1000u);
+    EXPECT_EQ(fc.shape().c, 2048u);
+}
+
+TEST_F(ModelZooTest, MobileNetV1Structure)
+{
+    Model m = mobileNetV1();
+    // conv1 + 13 x (dw + pw) + fc = 28.
+    EXPECT_EQ(m.numLayers(), 28u);
+    // Published ~569 MMACs.
+    EXPECT_GT(m.totalMacs(), 450'000'000ull);
+    EXPECT_LT(m.totalMacs(), 750'000'000ull);
+}
+
+TEST_F(ModelZooTest, MobileNetV1AlternatesDwPw)
+{
+    Model m = mobileNetV1();
+    for (std::size_t i = 1; i + 1 < m.numLayers(); i += 2) {
+        EXPECT_EQ(m.layer(i).kind(), LayerKind::DepthwiseConv2D)
+            << "layer " << i;
+        EXPECT_EQ(m.layer(i + 1).kind(), LayerKind::PointwiseConv2D)
+            << "layer " << i + 1;
+    }
+}
+
+TEST_F(ModelZooTest, MobileNetV2Structure)
+{
+    Model m = mobileNetV2();
+    // conv1 + blocks (2 + 16x3) + conv_last + fc = 53.
+    EXPECT_EQ(m.numLayers(), 53u);
+    // Published ~300 MMACs; SAME-geometry approximation ~[250, 450].
+    EXPECT_GT(m.totalMacs(), 250'000'000ull);
+    EXPECT_LT(m.totalMacs(), 450'000'000ull);
+}
+
+TEST_F(ModelZooTest, MobileNetV2HasDepthwiseLayers)
+{
+    Model m = mobileNetV2();
+    std::size_t dw = 0;
+    for (const Layer &l : m.layers()) {
+        if (l.kind() == LayerKind::DepthwiseConv2D)
+            ++dw;
+    }
+    EXPECT_EQ(dw, 17u); // one per inverted-residual block
+}
+
+TEST_F(ModelZooTest, UNetLayerCount)
+{
+    Model m = uNet();
+    // 8 encoder convs + 2 bottleneck + 4 x (up + 2 convs) + 1x1 = 23.
+    EXPECT_EQ(m.numLayers(), 23u);
+}
+
+TEST_F(ModelZooTest, UNetGeometryChain)
+{
+    Model m = uNet();
+    // Classic valid-conv geometry: first conv 572 -> 570, final 1x1
+    // at 388x388 with 2 output channels.
+    EXPECT_EQ(m.layer(0).outY(), 570u);
+    const Layer &out = m.layer(m.numLayers() - 1);
+    EXPECT_EQ(out.shape().k, 2u);
+    EXPECT_EQ(out.outY(), 388u);
+}
+
+TEST_F(ModelZooTest, UNetHasUpConvs)
+{
+    Model m = uNet();
+    std::size_t up = 0;
+    for (const Layer &l : m.layers()) {
+        if (l.kind() == LayerKind::TransposedConv2D)
+            ++up;
+    }
+    EXPECT_EQ(up, 4u);
+}
+
+TEST_F(ModelZooTest, UNetRatioExtremes)
+{
+    // Table I: min 0.002, max 34.133 (1024 channels at 30x30-ish).
+    Model m = uNet();
+    EXPECT_LT(m.minChannelActivationRatio(), 0.01);
+    EXPECT_GT(m.maxChannelActivationRatio(), 20.0);
+    EXPECT_LT(m.maxChannelActivationRatio(), 50.0);
+}
+
+TEST_F(ModelZooTest, BrqHandposeMostlyWideFcs)
+{
+    // Table I: median ratio 1024 -> at least half the layers are
+    // 1024-wide FCs.
+    Model m = brqHandposeNet();
+    std::size_t wide_fc = 0;
+    for (const Layer &l : m.layers()) {
+        if (l.kind() == LayerKind::FullyConnected &&
+            l.shape().c >= 1024) {
+            ++wide_fc;
+        }
+    }
+    EXPECT_GE(wide_fc * 2, m.numLayers());
+    EXPECT_DOUBLE_EQ(m.maxChannelActivationRatio(), 16384.0);
+}
+
+TEST_F(ModelZooTest, DepthNetHasHugeFc)
+{
+    // Sec. V-B: DepthNet FC2 has 4096x4096 = ~16.8M-way channel
+    // parallelism, the largest in the workloads.
+    Model m = focalLengthDepthNet();
+    bool found = false;
+    for (const Layer &l : m.layers()) {
+        if (l.kind() == LayerKind::FullyConnected &&
+            l.shape().k == 4096 && l.shape().c == 4096) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(ModelZooTest, DepthNetDecodesWithUpconvs)
+{
+    Model m = focalLengthDepthNet();
+    std::size_t up = 0;
+    for (const Layer &l : m.layers()) {
+        if (l.kind() == LayerKind::TransposedConv2D)
+            ++up;
+    }
+    EXPECT_EQ(up, 4u);
+    // Final depth map is 112x112 single channel.
+    const Layer &out = m.layer(m.numLayers() - 1);
+    EXPECT_EQ(out.shape().k, 1u);
+    EXPECT_EQ(out.outY(), 112u);
+}
+
+TEST_F(ModelZooTest, SsdResnet34BuildsOnBackbone)
+{
+    Model m = ssdResnet34();
+    EXPECT_GT(m.numLayers(), 40u);
+    EXPECT_LT(m.numLayers(), 70u);
+    // Detection heads present: 6 feature maps x 2 convs.
+    std::size_t heads = 0;
+    for (const Layer &l : m.layers()) {
+        if (l.name().find("head") == 0)
+            ++heads;
+    }
+    EXPECT_EQ(heads, 12u);
+}
+
+TEST_F(ModelZooTest, SsdMobileNetHeads)
+{
+    Model m = ssdMobileNetV1();
+    std::size_t heads = 0;
+    for (const Layer &l : m.layers()) {
+        if (l.name().find("head") == 0)
+            ++heads;
+    }
+    EXPECT_EQ(heads, 12u);
+}
+
+TEST_F(ModelZooTest, GnmtIsChannelHeavy)
+{
+    Model m = gnmt();
+    // 9 encoder + 8 decoder + attention + vocab = 19 layers.
+    EXPECT_EQ(m.numLayers(), 19u);
+    for (const Layer &l : m.layers()) {
+        // Every GNMT layer is a GEMM: huge channel-activation ratio.
+        EXPECT_GT(l.channelActivationRatio(), 50.0) << l.name();
+    }
+}
+
+TEST_F(ModelZooTest, GnmtTokenScaling)
+{
+    // MACs scale linearly with the token count.
+    Model short_seq = gnmt(10);
+    Model long_seq = gnmt(20);
+    EXPECT_EQ(long_seq.totalMacs(), 2 * short_seq.totalMacs());
+}
+
+TEST_F(ModelZooTest, Resnet34BackboneParametricInput)
+{
+    Model a = resnet34Backbone(300);
+    Model b = resnet34Backbone(1200);
+    EXPECT_EQ(a.numLayers(), b.numLayers());
+    EXPECT_GT(b.totalMacs(), a.totalMacs() * 10);
+}
+
+TEST_F(ModelZooTest, ChannelRatioSpreadAcrossZoo)
+{
+    // The paper's headline heterogeneity claim: the largest
+    // channel-activation ratio across the AR/VR models is over 10^5
+    // times the smallest.
+    double min_ratio = 1e30, max_ratio = 0.0;
+    for (const Model &m :
+         {resnet50(), mobileNetV2(), uNet(), brqHandposeNet(),
+          focalLengthDepthNet()}) {
+        min_ratio = std::min(min_ratio, m.minChannelActivationRatio());
+        max_ratio = std::max(max_ratio, m.maxChannelActivationRatio());
+    }
+    EXPECT_GT(max_ratio / min_ratio, 1e5);
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Parameterized scheduler properties: for every combination of
+ * workload mix, accelerator family and scheduler option set, the
+ * produced schedule must validate (completeness, dependences,
+ * non-overlap, memory) and satisfy basic sanity invariants. This is
+ * the harness that catches post-processing regressions (overlaps,
+ * dependence inversions) across the whole configuration space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "accel/accelerator.hh"
+#include "dnn/model_zoo.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using accel::Accelerator;
+using dataflow::DataflowStyle;
+using sched::SchedulerOptions;
+using workload::Workload;
+
+enum class WorkloadKind
+{
+    SingleModel,
+    TwoModels,
+    BatchedMix,
+    FcHeavy,
+};
+
+const char *
+name(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::SingleModel:
+        return "single";
+      case WorkloadKind::TwoModels:
+        return "two";
+      case WorkloadKind::BatchedMix:
+        return "batched";
+      case WorkloadKind::FcHeavy:
+        return "fcheavy";
+    }
+    return "?";
+}
+
+Workload
+makeWorkload(WorkloadKind kind)
+{
+    Workload wl(name(kind));
+    switch (kind) {
+      case WorkloadKind::SingleModel:
+        wl.addModel(dnn::mobileNetV2(), 1);
+        break;
+      case WorkloadKind::TwoModels:
+        wl.addModel(dnn::mobileNetV2(), 1);
+        wl.addModel(dnn::brqHandposeNet(), 1);
+        break;
+      case WorkloadKind::BatchedMix:
+        wl.addModel(dnn::mobileNetV1(), 2);
+        wl.addModel(dnn::brqHandposeNet(), 3);
+        break;
+      case WorkloadKind::FcHeavy:
+        wl.addModel(dnn::brqHandposeNet(), 2);
+        wl.addModel(dnn::gnmt(8), 1);
+        break;
+    }
+    return wl;
+}
+
+enum class AccKind
+{
+    Fda,
+    SmFda,
+    Rda,
+    Hda2,
+    Hda3,
+};
+
+const char *
+name(AccKind kind)
+{
+    switch (kind) {
+      case AccKind::Fda:
+        return "fda";
+      case AccKind::SmFda:
+        return "smfda";
+      case AccKind::Rda:
+        return "rda";
+      case AccKind::Hda2:
+        return "hda2";
+      case AccKind::Hda3:
+        return "hda3";
+    }
+    return "?";
+}
+
+Accelerator
+makeAccelerator(AccKind kind)
+{
+    accel::AcceleratorClass chip = accel::edgeClass();
+    switch (kind) {
+      case AccKind::Fda:
+        return Accelerator::makeFda(chip, DataflowStyle::NVDLA);
+      case AccKind::SmFda:
+        return Accelerator::makeScaledOutFda(
+            chip, DataflowStyle::ShiDiannao, 2);
+      case AccKind::Rda:
+        return Accelerator::makeRda(chip);
+      case AccKind::Hda2:
+        return Accelerator::makeHda(
+            chip, {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+            {256, 768}, {4.0, 12.0});
+      case AccKind::Hda3:
+        return Accelerator::makeHda(
+            chip,
+            {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+             DataflowStyle::Eyeriss},
+            {256, 512, 256}, {4.0, 8.0, 4.0});
+    }
+    util::panic("unknown AccKind");
+}
+
+enum class OptKind
+{
+    Default,
+    Greedy,
+    DepthFirst,
+    TightBalance,
+    LatencyMetric,
+    ContextPenalty,
+};
+
+const char *
+name(OptKind kind)
+{
+    switch (kind) {
+      case OptKind::Default:
+        return "default";
+      case OptKind::Greedy:
+        return "greedy";
+      case OptKind::DepthFirst:
+        return "depthfirst";
+      case OptKind::TightBalance:
+        return "tightlb";
+      case OptKind::LatencyMetric:
+        return "latmetric";
+      case OptKind::ContextPenalty:
+        return "ctxpenalty";
+    }
+    return "?";
+}
+
+SchedulerOptions
+makeOptions(OptKind kind)
+{
+    SchedulerOptions opts;
+    switch (kind) {
+      case OptKind::Default:
+        break;
+      case OptKind::Greedy:
+        opts.loadBalance = false;
+        opts.postProcess = false;
+        break;
+      case OptKind::DepthFirst:
+        opts.ordering = sched::Ordering::DepthFirst;
+        break;
+      case OptKind::TightBalance:
+        opts.loadBalanceFactor = 1.2;
+        opts.loadBalanceMaxDegradation = 16.0;
+        break;
+      case OptKind::LatencyMetric:
+        opts.metric = sched::Metric::Latency;
+        break;
+      case OptKind::ContextPenalty:
+        opts.contextChangeCycles = 10000.0;
+        break;
+    }
+    return opts;
+}
+
+using SchedParam = std::tuple<WorkloadKind, AccKind, OptKind>;
+
+class SchedProperty : public ::testing::TestWithParam<SchedParam>
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+};
+
+TEST_P(SchedProperty, ScheduleIsValidAndSane)
+{
+    auto [wl_kind, acc_kind, opt_kind] = GetParam();
+    Workload wl = makeWorkload(wl_kind);
+    Accelerator acc = makeAccelerator(acc_kind);
+    cost::CostModel model;
+    sched::HeraldScheduler scheduler(model, makeOptions(opt_kind));
+
+    sched::Schedule s = scheduler.schedule(wl, acc);
+
+    // The full validator: completeness, dependences, non-overlap,
+    // global-buffer occupancy.
+    EXPECT_EQ(s.validate(wl, acc), "");
+
+    // Sanity invariants.
+    sched::ScheduleSummary sum =
+        s.finalize(acc, model.energyModel());
+    EXPECT_GT(sum.makespanCycles, 0.0);
+    EXPECT_GT(sum.energyUnits, 0.0);
+    double busy_total = 0.0;
+    for (double b : sum.busyCycles) {
+        EXPECT_LE(b, sum.makespanCycles + 1e-6);
+        busy_total += b;
+    }
+    EXPECT_GT(busy_total, 0.0);
+    // Peak occupancy is within the global buffer (also checked by
+    // the validator's sweep; this exercises the public accessor).
+    EXPECT_LE(s.peakOccupancyBytes(), acc.globalBufferBytes());
+}
+
+TEST_P(SchedProperty, DeterministicAcrossRuns)
+{
+    auto [wl_kind, acc_kind, opt_kind] = GetParam();
+    Workload wl = makeWorkload(wl_kind);
+    Accelerator acc = makeAccelerator(acc_kind);
+    cost::CostModel model;
+    sched::HeraldScheduler scheduler(model, makeOptions(opt_kind));
+
+    sched::Schedule a = scheduler.schedule(wl, acc);
+    sched::Schedule b = scheduler.schedule(wl, acc);
+    ASSERT_EQ(a.entries().size(), b.entries().size());
+    for (std::size_t i = 0; i < a.entries().size(); ++i) {
+        EXPECT_EQ(a.entries()[i].accIdx, b.entries()[i].accIdx);
+        EXPECT_DOUBLE_EQ(a.entries()[i].startCycle,
+                         b.entries()[i].startCycle);
+    }
+}
+
+TEST_P(SchedProperty, TimelineRenders)
+{
+    auto [wl_kind, acc_kind, opt_kind] = GetParam();
+    Workload wl = makeWorkload(wl_kind);
+    Accelerator acc = makeAccelerator(acc_kind);
+    cost::CostModel model;
+    sched::HeraldScheduler scheduler(model, makeOptions(opt_kind));
+    sched::Schedule s = scheduler.schedule(wl, acc);
+    std::string timeline = s.renderTimeline(wl, 48);
+    // One row per sub-accelerator plus the axis.
+    EXPECT_NE(timeline.find("acc0"), std::string::npos);
+    if (acc.numSubAccs() > 1)
+        EXPECT_NE(timeline.find("acc1"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedProperty,
+    ::testing::Combine(
+        ::testing::Values(WorkloadKind::SingleModel,
+                          WorkloadKind::TwoModels,
+                          WorkloadKind::BatchedMix,
+                          WorkloadKind::FcHeavy),
+        ::testing::Values(AccKind::Fda, AccKind::SmFda, AccKind::Rda,
+                          AccKind::Hda2, AccKind::Hda3),
+        ::testing::Values(OptKind::Default, OptKind::Greedy,
+                          OptKind::DepthFirst, OptKind::TightBalance,
+                          OptKind::LatencyMetric,
+                          OptKind::ContextPenalty)),
+    [](const ::testing::TestParamInfo<SchedParam> &info) {
+        return std::string(name(std::get<0>(info.param))) + "_" +
+               name(std::get<1>(info.param)) + "_" +
+               name(std::get<2>(info.param));
+    });
+
+} // namespace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the util module: math helpers, Pareto extraction,
+ * table formatting and the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+#include "util/pareto.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace herald::util;
+
+TEST(CeilDiv, ExactDivision)
+{
+    EXPECT_EQ(ceilDiv(12, 4), 3u);
+}
+
+TEST(CeilDiv, RoundsUp)
+{
+    EXPECT_EQ(ceilDiv(13, 4), 4u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+}
+
+TEST(CeilDiv, ZeroNumerator)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+}
+
+TEST(CeilDiv, ZeroDenominatorPanics)
+{
+    EXPECT_THROW(ceilDiv(4, 0), std::logic_error);
+}
+
+TEST(RoundUp, Basic)
+{
+    EXPECT_EQ(roundUp(13, 4), 16u);
+    EXPECT_EQ(roundUp(16, 4), 16u);
+    EXPECT_EQ(roundUp(0, 4), 0u);
+}
+
+TEST(Divisors, Twelve)
+{
+    std::vector<std::uint64_t> expect{1, 2, 3, 4, 6, 12};
+    EXPECT_EQ(divisors(12), expect);
+}
+
+TEST(Divisors, Prime)
+{
+    std::vector<std::uint64_t> expect{1, 13};
+    EXPECT_EQ(divisors(13), expect);
+}
+
+TEST(Divisors, One)
+{
+    std::vector<std::uint64_t> expect{1};
+    EXPECT_EQ(divisors(1), expect);
+}
+
+TEST(LargestDivisorAtMost, Basic)
+{
+    EXPECT_EQ(largestDivisorAtMost(12, 5), 4u);
+    EXPECT_EQ(largestDivisorAtMost(12, 12), 12u);
+    EXPECT_EQ(largestDivisorAtMost(13, 6), 1u);
+}
+
+TEST(BestFactorPair, SaturatesBudget)
+{
+    // 256 PEs, bounds 64 x 64: should find a full 256 product.
+    FactorPair fp = bestFactorPair(256, 64, 64);
+    EXPECT_EQ(fp.first * fp.second, 256u);
+    EXPECT_LE(fp.first, 64u);
+    EXPECT_LE(fp.second, 64u);
+}
+
+TEST(BestFactorPair, BoundLimited)
+{
+    // Bounds 3 x 3 cap the product at 9 regardless of PE budget.
+    FactorPair fp = bestFactorPair(256, 3, 3);
+    EXPECT_EQ(fp.first, 3u);
+    EXPECT_EQ(fp.second, 3u);
+}
+
+TEST(BestFactorPair, OneSidedBound)
+{
+    FactorPair fp = bestFactorPair(16, 16, 1);
+    EXPECT_EQ(fp.first, 16u);
+    EXPECT_EQ(fp.second, 1u);
+}
+
+TEST(BestFactorPair, PrefersBalance)
+{
+    // 16 PEs with generous bounds: 4x4 beats 16x1 on balance.
+    FactorPair fp = bestFactorPair(16, 16, 16);
+    EXPECT_EQ(fp.first * fp.second, 16u);
+    EXPECT_EQ(fp.first, 4u);
+    EXPECT_EQ(fp.second, 4u);
+}
+
+TEST(Isqrt, Values)
+{
+    EXPECT_EQ(isqrt(0), 0u);
+    EXPECT_EQ(isqrt(1), 1u);
+    EXPECT_EQ(isqrt(15), 3u);
+    EXPECT_EQ(isqrt(16), 4u);
+    EXPECT_EQ(isqrt(17), 4u);
+}
+
+TEST(SplitMix64, Deterministic)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, BoundedRange)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Pareto, Dominance)
+{
+    DesignPoint a{1.0, 1.0, "a"};
+    DesignPoint b{2.0, 2.0, "b"};
+    DesignPoint c{1.0, 2.0, "c"};
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_TRUE(dominates(a, c));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Pareto, FrontExtraction)
+{
+    std::vector<DesignPoint> points{
+        {3.0, 1.0, "p0"}, {1.0, 3.0, "p1"}, {2.0, 2.0, "p2"},
+        {3.0, 3.0, "dominated"}, {2.5, 2.5, "dominated2"}};
+    auto front = paretoFront(points);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].label, "p1");
+    EXPECT_EQ(front[1].label, "p2");
+    EXPECT_EQ(front[2].label, "p0");
+}
+
+TEST(Pareto, FrontSortedByLatency)
+{
+    std::vector<DesignPoint> points{
+        {5.0, 0.5, "x"}, {0.5, 5.0, "y"}, {2.0, 2.0, "z"}};
+    auto front = paretoFront(points);
+    for (std::size_t i = 1; i < front.size(); ++i)
+        EXPECT_LE(front[i - 1].latency, front[i].latency);
+}
+
+TEST(Pareto, MinEdp)
+{
+    std::vector<DesignPoint> points{
+        {3.0, 3.0, "nine"}, {1.0, 2.0, "two"}, {4.0, 1.0, "four"}};
+    EXPECT_EQ(minEdpIndex(points), 1u);
+}
+
+TEST(Pareto, MinEdpEmptyPanics)
+{
+    std::vector<DesignPoint> points;
+    EXPECT_THROW(minEdpIndex(points), std::logic_error);
+}
+
+TEST(Table, AlignedOutput)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, Csv)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "x,y\n1,2\n");
+}
+
+TEST(Format, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.5, 3), "1.500");
+    EXPECT_EQ(fmtDouble(0.0, 2), "0.00");
+}
+
+TEST(Format, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(-0.653), "-65.3%");
+    EXPECT_EQ(fmtPercent(0.05), "+5.0%");
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    herald::util::setVerbose(false);
+    EXPECT_THROW(herald::util::fatal("user error"),
+                 std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(herald::util::panic("bug"), std::logic_error);
+}
+
+TEST(Logging, WarnDoesNotThrow)
+{
+    EXPECT_NO_THROW(herald::util::warn("just a warning"));
+}
+
+} // namespace

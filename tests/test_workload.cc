@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the workload module: batch expansion, instance
+ * independence, and the Table II workload definitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using workload::Workload;
+
+class WorkloadTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+};
+
+TEST_F(WorkloadTest, BatchExpansion)
+{
+    Workload wl("test");
+    wl.addModel(dnn::uNet(), 3);
+    EXPECT_EQ(wl.numInstances(), 3u);
+    EXPECT_EQ(wl.totalLayers(), 3u * dnn::uNet().numLayers());
+    EXPECT_EQ(wl.instances()[0].name, "UNet#1");
+    EXPECT_EQ(wl.instances()[2].name, "UNet#3");
+}
+
+TEST_F(WorkloadTest, InstancesShareSpec)
+{
+    Workload wl("test");
+    wl.addModel(dnn::uNet(), 2);
+    EXPECT_EQ(wl.instances()[0].specIdx, wl.instances()[1].specIdx);
+    EXPECT_EQ(&wl.modelOf(0), &wl.modelOf(1));
+}
+
+TEST_F(WorkloadTest, RejectsZeroBatches)
+{
+    Workload wl("test");
+    EXPECT_THROW(wl.addModel(dnn::uNet(), 0), std::runtime_error);
+}
+
+TEST_F(WorkloadTest, RejectsEmptyModel)
+{
+    Workload wl("test");
+    EXPECT_THROW(wl.addModel(dnn::Model("empty"), 1),
+                 std::runtime_error);
+}
+
+TEST_F(WorkloadTest, OutOfRangeInstancePanics)
+{
+    Workload wl("test");
+    wl.addModel(dnn::uNet(), 1);
+    EXPECT_THROW(wl.modelOf(1), std::logic_error);
+}
+
+TEST_F(WorkloadTest, ArvrAComposition)
+{
+    Workload wl = workload::arvrA();
+    EXPECT_EQ(wl.name(), "AR/VR-A");
+    // Resnet50 x2, UNet x4, MobileNetV2 x4 = 10 instances.
+    EXPECT_EQ(wl.numInstances(), 10u);
+    EXPECT_EQ(wl.specs().size(), 3u);
+    // 2*54 + 4*23 + 4*53 = 412 layers with our zoo geometries
+    // (paper: 448 with theirs).
+    EXPECT_EQ(wl.totalLayers(), 412u);
+}
+
+TEST_F(WorkloadTest, ArvrBComposition)
+{
+    Workload wl = workload::arvrB();
+    // 2+2+4+2+2 = 12 instances over five models.
+    EXPECT_EQ(wl.numInstances(), 12u);
+    EXPECT_EQ(wl.specs().size(), 5u);
+    EXPECT_GT(wl.totalLayers(), workload::arvrA().totalLayers() - 100);
+}
+
+TEST_F(WorkloadTest, MlperfComposition)
+{
+    Workload wl = workload::mlperf();
+    EXPECT_EQ(wl.numInstances(), 5u);
+    EXPECT_EQ(wl.specs().size(), 5u);
+    // Paper reports 181 layers; our zoo is within the same ballpark.
+    EXPECT_GT(wl.totalLayers(), 150u);
+    EXPECT_LT(wl.totalLayers(), 230u);
+}
+
+TEST_F(WorkloadTest, MlperfBatchScaling)
+{
+    Workload b1 = workload::mlperf(1);
+    Workload b8 = workload::mlperf(8);
+    EXPECT_EQ(b8.numInstances(), 8u * b1.numInstances());
+    EXPECT_EQ(b8.totalLayers(), 8u * b1.totalLayers());
+    EXPECT_EQ(b8.totalMacs(), 8u * b1.totalMacs());
+    EXPECT_EQ(b8.name(), "MLPerf-b8");
+}
+
+TEST_F(WorkloadTest, TotalMacsIsSumOverInstances)
+{
+    Workload wl("test");
+    wl.addModel(dnn::mobileNetV2(), 2);
+    EXPECT_EQ(wl.totalMacs(), 2 * dnn::mobileNetV2().totalMacs());
+}
+
+} // namespace
