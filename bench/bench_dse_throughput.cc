@@ -1,0 +1,198 @@
+/**
+ * @file
+ * DSE throughput benchmark: serial vs. parallel partition sweep on
+ * the AR/VR-A workload, plus scheduler microseconds-per-layer on a
+ * fixed HDA. Emits machine-readable JSON (default BENCH_dse.json) so
+ * successive PRs can track the perf trajectory.
+ *
+ * Usage:
+ *   bench_dse_throughput [--threads N] [--out FILE] [--small]
+ *
+ * --threads  worker count for the parallel sweep (default: the
+ *            HERALD_THREADS env var, then hardware concurrency)
+ * --small    a reduced sweep for CI (coarser partition grid)
+ *
+ * Each measured sweep uses a fresh CostModel so serial and parallel
+ * both start cold — the parallel speedup is not allowed to hide
+ * behind a warm cache.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace herald;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+struct SweepResult
+{
+    std::size_t candidates = 0;
+    double seconds = 0.0;
+
+    double
+    candidatesPerSec() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(candidates) / seconds
+                   : 0.0;
+    }
+};
+
+/** Run one full explore with the given thread count, cold cache. */
+SweepResult
+runSweep(const workload::Workload &wl,
+         const accel::AcceleratorClass &chip,
+         const dse::HeraldOptions &base, std::size_t threads)
+{
+    cost::CostModel model;
+    dse::HeraldOptions opts = base;
+    opts.numThreads = threads;
+    dse::Herald herald(model, opts);
+
+    Clock::time_point start = Clock::now();
+    dse::DseResult result = herald.explore(
+        wl, chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao});
+    SweepResult out;
+    out.seconds = secondsSince(start);
+    out.candidates = result.points.size();
+    return out;
+}
+
+/** Scheduler-only timing: us per scheduled layer, warm cost cache. */
+double
+schedulerMicrosPerLayer(const workload::Workload &wl,
+                        const accel::AcceleratorClass &chip)
+{
+    cost::CostModel model;
+    sched::HeraldScheduler scheduler(model,
+                                     sched::SchedulerOptions{});
+    accel::Accelerator acc = accel::Accelerator::makeHda(
+        chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao},
+        {chip.numPes / 2, chip.numPes / 2},
+        {chip.bwGBps / 2, chip.bwGBps / 2});
+
+    scheduler.schedule(wl, acc); // warm the cost cache
+    const int reps = 10;
+    Clock::time_point start = Clock::now();
+    for (int r = 0; r < reps; ++r)
+        scheduler.schedule(wl, acc);
+    double per_schedule = secondsSince(start) / reps;
+    return per_schedule * 1e6 /
+           static_cast<double>(wl.totalLayers());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+
+    std::size_t threads = 0;
+    std::string out_path = "BENCH_dse.json";
+    bool small = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--small") == 0) {
+            small = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--out FILE] "
+                         "[--small]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    threads = util::resolveThreadCount(threads);
+
+    // Open the output up front so a bad path fails before the sweep.
+    std::FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+
+    workload::Workload wl = workload::arvrA();
+    accel::AcceleratorClass chip = accel::edgeClass();
+
+    dse::HeraldOptions opts;
+    if (small) {
+        opts.partition.peGranularity = chip.numPes / 4;
+        opts.partition.bwGranularity = chip.bwGBps / 4;
+    } else {
+        opts.partition.peGranularity = chip.numPes / 16;
+        opts.partition.bwGranularity = chip.bwGBps / 8;
+    }
+
+    std::printf("=== DSE throughput: %s on %s (%s grid) ===\n",
+                wl.name().c_str(), chip.name.c_str(),
+                small ? "small" : "full");
+
+    SweepResult serial = runSweep(wl, chip, opts, 1);
+    std::printf("serial:   %zu candidates in %.3f s "
+                "(%.2f cand/s)\n",
+                serial.candidates, serial.seconds,
+                serial.candidatesPerSec());
+
+    SweepResult parallel = runSweep(wl, chip, opts, threads);
+    double speedup = parallel.seconds > 0.0
+                         ? serial.seconds / parallel.seconds
+                         : 0.0;
+    std::printf("parallel: %zu candidates in %.3f s "
+                "(%.2f cand/s, %zu threads, %.2fx)\n",
+                parallel.candidates, parallel.seconds,
+                parallel.candidatesPerSec(), threads, speedup);
+
+    double us_per_layer = schedulerMicrosPerLayer(wl, chip);
+    std::printf("scheduler: %.2f us/layer (%zu layers, warm "
+                "cache)\n",
+                us_per_layer, wl.totalLayers());
+
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"chip\": \"%s\",\n"
+        "  \"grid\": \"%s\",\n"
+        "  \"candidates\": %zu,\n"
+        "  \"threads\": %zu,\n"
+        "  \"serial_seconds\": %.6f,\n"
+        "  \"serial_candidates_per_sec\": %.3f,\n"
+        "  \"parallel_seconds\": %.6f,\n"
+        "  \"parallel_candidates_per_sec\": %.3f,\n"
+        "  \"speedup\": %.3f,\n"
+        "  \"scheduler_us_per_layer\": %.3f,\n"
+        "  \"total_layers\": %zu\n"
+        "}\n",
+        wl.name().c_str(), chip.name.c_str(),
+        small ? "small" : "full", serial.candidates, threads,
+        serial.seconds, serial.candidatesPerSec(),
+        parallel.seconds, parallel.candidatesPerSec(), speedup,
+        us_per_layer, wl.totalLayers());
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

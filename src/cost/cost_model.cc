@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "util/logging.hh"
 
@@ -21,7 +22,43 @@ bytes(std::uint64_t words)
            static_cast<double>(dnn::kDataBytes);
 }
 
+/** Bit pattern of a double for exact-identity hashing. */
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
 } // namespace
+
+std::size_t
+CostCacheKeyHash::operator()(const CostCacheKey &key) const
+{
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(key.depthwise);
+    mix(key.k);
+    mix(key.c);
+    mix(key.oy);
+    mix(key.ox);
+    mix(key.r);
+    mix(key.s);
+    mix(key.strideNum);
+    mix(key.strideDen);
+    mix(static_cast<std::uint64_t>(key.style));
+    mix(key.numPes);
+    mix(key.l2Bytes);
+    mix(key.l1Bytes);
+    mix(key.bwBits);
+    mix(key.dramBwBits);
+    mix(key.clockBits);
+    mix(key.localBwBits);
+    return static_cast<std::size_t>(h);
+}
 
 CostModel::CostModel(EnergyModel energy_model, CostOptions options)
     : energy(energy_model), opts(options)
@@ -29,46 +66,87 @@ CostModel::CostModel(EnergyModel energy_model, CostOptions options)
     validate(energy);
 }
 
-std::uint64_t
+CostCacheKey
 CostModel::cacheKey(const dnn::Layer &layer,
                     dataflow::DataflowStyle style,
                     const SubAccResources &res) const
 {
-    std::uint64_t h = layer.shapeKey();
-    auto mix = [&h](std::uint64_t v) {
-        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    };
-    mix(static_cast<std::uint64_t>(style));
-    mix(res.numPes);
-    mix(static_cast<std::uint64_t>(res.bwGBps * 1024.0));
-    mix(static_cast<std::uint64_t>(res.effectiveDramBw() * 1024.0));
-    mix(res.l2Bytes);
-    mix(res.l1Bytes);
-    mix(static_cast<std::uint64_t>(res.clockGHz * 1024.0));
-    return h;
+    const dnn::CanonicalConv &conv = layer.canonical();
+    CostCacheKey key;
+    key.depthwise = conv.depthwise ? 1 : 0;
+    key.k = conv.k;
+    key.c = conv.c;
+    key.oy = conv.oy;
+    key.ox = conv.ox;
+    key.r = conv.r;
+    key.s = conv.s;
+    key.strideNum = conv.strideNum;
+    key.strideDen = conv.strideDen;
+    key.style = style;
+    key.numPes = res.numPes;
+    key.l2Bytes = res.l2Bytes;
+    key.l1Bytes = res.l1Bytes;
+    key.bwBits = doubleBits(res.bwGBps);
+    key.dramBwBits = doubleBits(res.dramBwGBps);
+    key.clockBits = doubleBits(res.clockGHz);
+    key.localBwBits = doubleBits(res.localBwBytesPerCycle);
+    return key;
 }
 
-const LayerCost &
+LayerCost
 CostModel::evaluate(const dnn::Layer &layer,
                     dataflow::DataflowStyle style,
                     const SubAccResources &res)
 {
-    std::uint64_t key = cacheKey(layer, style, res);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    const CostCacheKey key = cacheKey(layer, style, res);
+    // Shard on the high hash bits: the shard's unordered_map buckets
+    // on the low bits, and reusing them would leave every key in a
+    // shard congruent mod kCacheShards (chain blowup on power-of-two
+    // bucket implementations).
+    CacheShard &shard =
+        shards[(CostCacheKeyHash{}(key) >> 57) % kCacheShards];
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end())
+            return it->second;
+    }
 
+    // Miss: compute outside the lock — evaluation is pure, so a
+    // concurrent thread computing the same key produces the same
+    // value and the emplace race below is benign.
     dataflow::MapperConstraints constraints;
     constraints.numPes = res.numPes;
     constraints.l1Bytes = res.l1Bytes;
     constraints.l2TileBudgetBytes = res.l2Bytes;
     dataflow::Mapping mapping =
         dataflow::buildMapping(style, layer, constraints);
-
     LayerCost cost = evaluateMapping(mapping, res);
-    auto [pos, inserted] = cache.emplace(key, cost);
+
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [pos, inserted] = shard.map.emplace(key, cost);
     (void)inserted;
     return pos->second;
+}
+
+std::size_t
+CostModel::cacheSize() const
+{
+    std::size_t total = 0;
+    for (const CacheShard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+void
+CostModel::clearCache()
+{
+    for (CacheShard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.map.clear();
+    }
 }
 
 LayerCost

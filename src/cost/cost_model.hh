@@ -16,7 +16,9 @@
 #ifndef HERALD_COST_COST_MODEL_HH
 #define HERALD_COST_COST_MODEL_HH
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "cost/energy_model.hh"
@@ -120,10 +122,66 @@ struct LayerCost
 };
 
 /**
+ * The full (layer geometry, style, resources) tuple a cached cost is
+ * valid for. Evaluation depends on the layer only through its
+ * CanonicalConv (the mapper consumes layer.canonical()), so the key
+ * carries the canonical dims verbatim — real equality, closing the
+ * silent wrong-cost hazard two hash-colliding tuples used to have.
+ * Floating-point resource fields are stored as bit patterns so
+ * operator== and the hash agree on the same identity.
+ */
+struct CostCacheKey
+{
+    // Canonical layer geometry.
+    std::uint64_t depthwise = 0;
+    std::uint64_t k = 0, c = 0, oy = 0, ox = 0, r = 0, s = 0;
+    std::uint64_t strideNum = 0, strideDen = 0;
+    // Mapping style.
+    dataflow::DataflowStyle style = dataflow::DataflowStyle::NVDLA;
+    // Resources (doubles as raw bit patterns).
+    std::uint64_t numPes = 0;
+    std::uint64_t l2Bytes = 0;
+    std::uint64_t l1Bytes = 0;
+    std::uint64_t bwBits = 0;
+    std::uint64_t dramBwBits = 0;
+    std::uint64_t clockBits = 0;
+    std::uint64_t localBwBits = 0;
+
+    bool operator==(const CostCacheKey &o) const
+    {
+        return depthwise == o.depthwise && k == o.k && c == o.c &&
+               oy == o.oy && ox == o.ox && r == o.r && s == o.s &&
+               strideNum == o.strideNum &&
+               strideDen == o.strideDen && style == o.style &&
+               numPes == o.numPes && l2Bytes == o.l2Bytes &&
+               l1Bytes == o.l1Bytes && bwBits == o.bwBits &&
+               dramBwBits == o.dramBwBits &&
+               clockBits == o.clockBits &&
+               localBwBits == o.localBwBits;
+    }
+};
+
+/** Mixing hash over every key field (collisions are now harmless). */
+struct CostCacheKeyHash
+{
+    std::size_t operator()(const CostCacheKey &key) const;
+};
+
+/**
  * Stateless evaluator plus a memoization cache. Evaluation is a pure
  * function of (layer shape, style, resources), so results are cached
  * under that key — the DSE issues millions of queries for repeated
  * layers (batches, repeated blocks).
+ *
+ * Thread safety: evaluate() may be called concurrently from any
+ * number of threads. The cache is split into kCacheShards shards,
+ * each guarded by its own mutex, and hits/misses return the LayerCost
+ * by value so callers never hold references into a concurrently
+ * mutated map. Misses compute outside the shard lock; on an insert
+ * race the first writer wins (both threads computed the identical
+ * pure-function result, so this stays deterministic). clearCache()
+ * must not race with concurrent evaluate() callers that expect a
+ * consistent cacheSize().
  */
 class CostModel
 {
@@ -132,9 +190,9 @@ class CostModel
                        CostOptions options = CostOptions{});
 
     /** Evaluate @p layer under @p style on @p res (cached). */
-    const LayerCost &evaluate(const dnn::Layer &layer,
-                              dataflow::DataflowStyle style,
-                              const SubAccResources &res);
+    LayerCost evaluate(const dnn::Layer &layer,
+                       dataflow::DataflowStyle style,
+                       const SubAccResources &res);
 
     /** Uncached evaluation of a prepared mapping. */
     LayerCost evaluateMapping(const dataflow::Mapping &mapping,
@@ -144,17 +202,26 @@ class CostModel
     const CostOptions &options() const { return opts; }
 
     /** Number of distinct (layer, style, resource) keys cached. */
-    std::size_t cacheSize() const { return cache.size(); }
-    void clearCache() { cache.clear(); }
+    std::size_t cacheSize() const;
+    void clearCache();
 
   private:
+    static constexpr std::size_t kCacheShards = 16;
+
+    struct CacheShard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<CostCacheKey, LayerCost, CostCacheKeyHash>
+            map;
+    };
+
     EnergyModel energy;
     CostOptions opts;
-    std::unordered_map<std::uint64_t, LayerCost> cache;
+    std::array<CacheShard, kCacheShards> shards;
 
-    std::uint64_t cacheKey(const dnn::Layer &layer,
-                           dataflow::DataflowStyle style,
-                           const SubAccResources &res) const;
+    CostCacheKey cacheKey(const dnn::Layer &layer,
+                          dataflow::DataflowStyle style,
+                          const SubAccResources &res) const;
 };
 
 } // namespace herald::cost

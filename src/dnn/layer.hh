@@ -125,8 +125,10 @@ class Layer
     const CanonicalConv &canonical() const { return canon; }
 
     /**
-     * Stable identity key for cost-model caching: two layers with the
-     * same kind and shape always produce the same key.
+     * Stable 64-bit digest of (kind, canonical dims): two layers with
+     * the same kind and shape always produce the same key. A hash,
+     * not an identity — exact-identity consumers (the cost cache)
+     * key on the canonical dims themselves.
      */
     std::uint64_t shapeKey() const;
 

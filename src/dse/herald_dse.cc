@@ -1,8 +1,10 @@
 #include "dse/herald_dse.hh"
 
 #include <limits>
+#include <optional>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace herald::dse
 {
@@ -57,21 +59,48 @@ Herald::explore(const workload::Workload &wl,
     if (styles.empty())
         util::fatal("Herald::explore: no dataflow styles given");
 
+    // One fixed pool for both sweep rounds; no pool (and no spawned
+    // threads) on the serial path. The calling thread participates
+    // in parallelFor, so n_threads total evaluators means
+    // n_threads - 1 pool workers.
+    const std::size_t n_threads =
+        util::resolveThreadCount(opts.numThreads);
+    std::optional<util::ThreadPool> pool;
+    if (n_threads > 1)
+        pool.emplace(n_threads - 1);
+
     DseResult result;
     double best = std::numeric_limits<double>::infinity();
 
+    // Evaluate one batch of candidates. Workers fill one slot per
+    // candidate index; the best-point reduction below runs serially
+    // in candidate order, so points, their order and bestIdx match
+    // the serial sweep exactly (same "<" tie-breaking).
     auto evaluate_candidates =
         [&](const std::vector<PartitionCandidate> &candidates) {
-            std::optional<PartitionCandidate> best_cand;
-            for (const PartitionCandidate &cand : candidates) {
+            std::vector<std::optional<DsePoint>> slots(
+                candidates.size());
+            auto eval_one = [&](std::size_t i) {
                 accel::Accelerator acc = accel::Accelerator::makeHda(
-                    chip, styles, cand.peSplit, cand.bwSplit);
-                DsePoint point = evaluate(wl, acc);
+                    chip, styles, candidates[i].peSplit,
+                    candidates[i].bwSplit);
+                slots[i] = evaluate(wl, acc);
+            };
+            if (pool && candidates.size() > 1) {
+                pool->parallelFor(0, candidates.size(), eval_one);
+            } else {
+                for (std::size_t i = 0; i < candidates.size(); ++i)
+                    eval_one(i);
+            }
+
+            std::optional<PartitionCandidate> best_cand;
+            for (std::size_t i = 0; i < candidates.size(); ++i) {
+                DsePoint &point = *slots[i];
                 double value = objectiveValue(point.summary);
                 if (value < best) {
                     best = value;
                     result.bestIdx = result.points.size();
-                    best_cand = cand;
+                    best_cand = candidates[i];
                 }
                 result.points.push_back(std::move(point));
             }

@@ -59,6 +59,13 @@ struct HeraldOptions
     sched::Metric objective = sched::Metric::Edp;
     /** Charge idle static energy at schedule level. */
     bool chargeIdleEnergy = true;
+    /**
+     * Worker threads for the partition sweep: 0 resolves via the
+     * HERALD_THREADS environment variable, then the hardware
+     * concurrency; 1 forces the serial path. Results are identical
+     * for every thread count (see Herald::explore).
+     */
+    std::size_t numThreads = 0;
 };
 
 /** The co-DSE driver. */
@@ -78,6 +85,13 @@ class Herald
     /**
      * Full co-DSE (design-time use case): explore PE/BW partitionings
      * of an HDA with the given @p styles on the @p chip budget.
+     *
+     * Candidates are evaluated across HeraldOptions::numThreads
+     * workers. Every candidate evaluation is an independent pure
+     * function, results are collected into a slot per candidate, and
+     * the best-point reduction runs serially in candidate order — so
+     * the returned points, their order, and bestIdx are identical for
+     * every thread count (including the serial path).
      */
     DseResult explore(const workload::Workload &wl,
                       const accel::AcceleratorClass &chip,

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
+#include <unordered_map>
 
+#include "sched/memory_tracker.hh"
 #include "util/logging.hh"
 
 namespace herald::sched
@@ -28,118 +29,6 @@ metricValue(Metric metric, const cost::LayerCost &cost)
     }
     util::panic("unknown Metric");
 }
-
-/**
- * Occupancy bookkeeping for the shared global buffer: a set of
- * (start, end, bytes) intervals with feasibility queries.
- */
-class MemoryTracker
-{
-  public:
-    explicit MemoryTracker(std::uint64_t capacity_bytes)
-        : capacity(static_cast<double>(capacity_bytes))
-    {
-    }
-
-    struct Interval
-    {
-        double start;
-        double end;
-        double bytes;
-    };
-
-    /**
-     * Whether adding @p bytes over [start, start+dur) keeps occupancy
-     * within capacity. @p exclude skips one interval (for moves).
-     */
-    bool
-    feasible(double start, double dur, double bytes,
-             std::size_t exclude = SIZE_MAX) const
-    {
-        const double end = start + dur;
-        // Occupancy is piecewise constant; check at window start and
-        // at every interval start inside the window.
-        double peak = occupancyAt(start, end, start, exclude);
-        for (std::size_t i = 0; i < intervals.size(); ++i) {
-            if (i == exclude)
-                continue;
-            const Interval &iv = intervals[i];
-            if (iv.start > start && iv.start < end) {
-                peak = std::max(
-                    peak, occupancyAt(start, end, iv.start, exclude));
-            }
-        }
-        return peak + bytes <= capacity + kEps;
-    }
-
-    /**
-     * Earliest time >= @p start at which [t, t+dur) with @p bytes is
-     * feasible; advances over interval end events.
-     */
-    double
-    firstFeasible(double start, double dur, double bytes) const
-    {
-        if (bytes > capacity) {
-            // Cannot ever fit; caller serializes behind everything.
-            double latest = start;
-            for (const Interval &iv : intervals)
-                latest = std::max(latest, iv.end);
-            return latest;
-        }
-        double t = start;
-        for (int guard = 0; guard < 1 << 16; ++guard) {
-            if (feasible(t, dur, bytes))
-                return t;
-            // Jump to the next release that could lower occupancy.
-            double next = std::numeric_limits<double>::infinity();
-            for (const Interval &iv : intervals) {
-                if (iv.end > t + kEps)
-                    next = std::min(next, iv.end);
-            }
-            if (!std::isfinite(next))
-                return t; // nothing to release; give up at t
-            t = next;
-        }
-        util::panic("memory tracker failed to converge");
-    }
-
-    std::size_t
-    add(double start, double dur, double bytes)
-    {
-        intervals.push_back(Interval{start, start + dur, bytes});
-        return intervals.size() - 1;
-    }
-
-    void
-    move(std::size_t idx, double new_start)
-    {
-        Interval &iv = intervals.at(idx);
-        double dur = iv.end - iv.start;
-        iv.start = new_start;
-        iv.end = new_start + dur;
-    }
-
-  private:
-    double capacity;
-    std::vector<Interval> intervals;
-
-    double
-    occupancyAt(double win_start, double win_end, double t,
-                std::size_t exclude) const
-    {
-        (void)win_start;
-        (void)win_end;
-        double total = 0.0;
-        for (std::size_t i = 0; i < intervals.size(); ++i) {
-            if (i == exclude)
-                continue;
-            const Interval &iv = intervals[i];
-            if (iv.start <= t + kEps && iv.end > t + kEps)
-                total += iv.bytes;
-        }
-        return total;
-    }
-};
 
 } // namespace
 
@@ -227,26 +116,26 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 
         // --- Dataflow-preference-based assignment ---
         std::vector<accel::StyledLayerCost> costs(n_acc);
+        std::vector<double> metric_of(n_acc);
         std::vector<std::size_t> order(n_acc);
         for (std::size_t a = 0; a < n_acc; ++a) {
             costs[a] = accel::evaluateOnSubAcc(costModel, acc, a,
                                                layer,
                                                opts.rdaOverheads);
+            metric_of[a] = metricValue(opts.metric, costs[a].cost);
             order[a] = a;
         }
         std::sort(order.begin(), order.end(),
                   [&](std::size_t a, std::size_t b) {
-                      return metricValue(opts.metric, costs[a].cost) <
-                             metricValue(opts.metric, costs[b].cost);
+                      return metric_of[a] < metric_of[b];
                   });
 
         // --- Load-balancing feedback: demote overloading choices ---
         std::size_t chosen = order[0];
         if (opts.loadBalance && n_acc > 1) {
-            const double best_metric =
-                metricValue(opts.metric, costs[order[0]].cost);
+            const double best_metric = metric_of[order[0]];
             for (std::size_t a : order) {
-                if (metricValue(opts.metric, costs[a].cost) >
+                if (metric_of[a] >
                     best_metric * opts.loadBalanceMaxDegradation) {
                     break; // remaining candidates are worse still
                 }
@@ -312,15 +201,22 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 namespace
 {
 
+/** Flat key for an (instance, layer) pair; both fit in 32 bits. */
+std::uint64_t
+depKey(std::size_t instance_idx, std::size_t layer_idx)
+{
+    return (static_cast<std::uint64_t>(instance_idx) << 32) |
+           static_cast<std::uint64_t>(layer_idx & 0xffffffffULL);
+}
+
 /** Entry index of (instance, layer) pairs for dependence lookups. */
-std::map<std::pair<std::size_t, std::size_t>, std::size_t>
+std::unordered_map<std::uint64_t, std::size_t>
 buildDependenceIndex(const std::vector<ScheduledLayer> &entries)
 {
-    std::map<std::pair<std::size_t, std::size_t>, std::size_t> index;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-        index[std::make_pair(entries[i].instanceIdx,
-                             entries[i].layerIdx)] = i;
-    }
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        index[depKey(entries[i].instanceIdx, entries[i].layerIdx)] = i;
     return index;
 }
 
@@ -352,8 +248,8 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
     auto dep_ready = [&](const ScheduledLayer &e) {
         if (e.layerIdx == 0)
             return 0.0;
-        auto it = dep_index.find(
-            std::make_pair(e.instanceIdx, e.layerIdx - 1));
+        auto it =
+            dep_index.find(depKey(e.instanceIdx, e.layerIdx - 1));
         return it == dep_index.end() ? 0.0
                                      : entries[it->second].endCycle;
     };

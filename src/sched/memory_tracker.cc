@@ -1,0 +1,150 @@
+#include "sched/memory_tracker.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace herald::sched
+{
+
+namespace
+{
+
+constexpr double kEps = 1e-6;
+
+} // namespace
+
+std::size_t
+MemoryTracker::upperBound(double t) const
+{
+    auto it = std::upper_bound(
+        events.begin(), events.end(), t,
+        [](double value, const Event &e) { return value < e.time; });
+    return static_cast<std::size_t>(it - events.begin());
+}
+
+void
+MemoryTracker::rebuildPrefixFrom(std::size_t pos)
+{
+    prefix.resize(events.size());
+    double running = pos > 0 ? prefix[pos - 1] : 0.0;
+    for (std::size_t i = pos; i < events.size(); ++i) {
+        running += events[i].delta;
+        prefix[i] = running;
+    }
+}
+
+void
+MemoryTracker::insertEvent(double time, double delta, std::size_t idx)
+{
+    std::size_t pos = upperBound(time);
+    events.insert(events.begin() + static_cast<std::ptrdiff_t>(pos),
+                  Event{time, delta, idx});
+    rebuildPrefixFrom(pos);
+}
+
+void
+MemoryTracker::eraseEvent(double time, std::size_t idx)
+{
+    // Events of one interval are found by exact time (callers pass
+    // the stored interval bounds back verbatim).
+    auto it = std::lower_bound(
+        events.begin(), events.end(), time,
+        [](const Event &e, double value) { return e.time < value; });
+    while (it != events.end() && it->time == time && it->idx != idx)
+        ++it;
+    if (it == events.end() || it->time != time)
+        util::panic("memory tracker: stale event erase");
+    std::size_t pos = static_cast<std::size_t>(it - events.begin());
+    events.erase(it);
+    rebuildPrefixFrom(pos);
+}
+
+double
+MemoryTracker::occupancy(double t, std::size_t exclude) const
+{
+    std::size_t m = upperBound(t + kEps);
+    double total = m > 0 ? prefix[m - 1] : 0.0;
+    if (exclude < intervals.size()) {
+        const Interval &iv = intervals[exclude];
+        if (iv.start <= t + kEps && iv.end > t + kEps)
+            total -= iv.bytes;
+    }
+    return total;
+}
+
+bool
+MemoryTracker::feasible(double start, double dur, double bytes,
+                        std::size_t exclude) const
+{
+    const double end = start + dur;
+    // Occupancy is piecewise constant; check at the window start and
+    // at every interval start strictly inside the window.
+    double peak = occupancy(start, exclude);
+    for (std::size_t i = upperBound(start);
+         i < events.size() && events[i].time < end; ++i) {
+        if (events[i].delta <= 0.0 || events[i].idx == exclude)
+            continue;
+        peak = std::max(peak, occupancy(events[i].time, exclude));
+    }
+    return peak + bytes <= capacity + kEps;
+}
+
+double
+MemoryTracker::firstFeasible(double start, double dur,
+                             double bytes) const
+{
+    if (bytes > capacity) {
+        // Cannot ever fit; caller serializes behind everything.
+        double latest = start;
+        for (const Interval &iv : intervals)
+            latest = std::max(latest, iv.end);
+        return latest;
+    }
+    double t = start;
+    for (int guard = 0; guard < 1 << 16; ++guard) {
+        if (feasible(t, dur, bytes))
+            return t;
+        // Jump to the next release that could lower occupancy: the
+        // first end event after t on the sorted timeline.
+        double next = std::numeric_limits<double>::infinity();
+        for (std::size_t i = upperBound(t + kEps); i < events.size();
+             ++i) {
+            if (events[i].delta < 0.0) {
+                next = events[i].time;
+                break;
+            }
+        }
+        if (!std::isfinite(next))
+            return t; // nothing to release; give up at t
+        t = next;
+    }
+    util::panic("memory tracker failed to converge");
+}
+
+std::size_t
+MemoryTracker::add(double start, double dur, double bytes)
+{
+    std::size_t idx = intervals.size();
+    intervals.push_back(Interval{start, start + dur, bytes});
+    insertEvent(start, bytes, idx);
+    insertEvent(start + dur, -bytes, idx);
+    return idx;
+}
+
+void
+MemoryTracker::move(std::size_t idx, double new_start)
+{
+    Interval &iv = intervals.at(idx);
+    double dur = iv.end - iv.start;
+    eraseEvent(iv.start, idx);
+    eraseEvent(iv.end, idx);
+    iv.start = new_start;
+    iv.end = new_start + dur;
+    insertEvent(iv.start, iv.bytes, idx);
+    insertEvent(iv.end, -iv.bytes, idx);
+}
+
+} // namespace herald::sched

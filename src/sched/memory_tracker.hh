@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Occupancy bookkeeping for the shared global buffer: a set of
+ * (start, end, bytes) intervals with feasibility queries.
+ *
+ * The tracker keeps an event timeline — every interval contributes a
+ * +bytes event at its start and a -bytes event at its end, kept
+ * sorted by time with a running-occupancy prefix. Occupancy at a
+ * point is a binary search plus one prefix read (O(log n));
+ * feasibility of a window only walks the events *inside* the window
+ * instead of re-scanning every interval per candidate point, which is
+ * what made the old implementation O(n^2) per query. Adds and moves
+ * splice the sorted timeline (O(n) worst case, O(1) amortized for the
+ * scheduler's mostly-forward-in-time insertion order).
+ *
+ * Occupancy is piecewise constant and evaluated with a small epsilon
+ * so zero-length touches at interval boundaries don't double-count:
+ * an interval [s, e) covers t iff s <= t + eps < ... < e.
+ */
+
+#ifndef HERALD_SCHED_MEMORY_TRACKER_HH
+#define HERALD_SCHED_MEMORY_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace herald::sched
+{
+
+/** See file comment. */
+class MemoryTracker
+{
+  public:
+    explicit MemoryTracker(std::uint64_t capacity_bytes)
+        : capacity(static_cast<double>(capacity_bytes))
+    {
+    }
+
+    struct Interval
+    {
+        double start;
+        double end;
+        double bytes;
+    };
+
+    /**
+     * Whether adding @p bytes over [start, start+dur) keeps occupancy
+     * within capacity. @p exclude skips one interval (for moves).
+     */
+    bool feasible(double start, double dur, double bytes,
+                  std::size_t exclude = SIZE_MAX) const;
+
+    /**
+     * Earliest time >= @p start at which [t, t+dur) with @p bytes is
+     * feasible; advances over interval end events.
+     */
+    double firstFeasible(double start, double dur,
+                         double bytes) const;
+
+    /** Track a new interval; returns its index (for move/exclude). */
+    std::size_t add(double start, double dur, double bytes);
+
+    /** Retime interval @p idx to begin at @p new_start. */
+    void move(std::size_t idx, double new_start);
+
+    /** Occupancy at time @p t, optionally excluding one interval. */
+    double occupancy(double t, std::size_t exclude = SIZE_MAX) const;
+
+    std::size_t numIntervals() const { return intervals.size(); }
+
+  private:
+    /** +bytes at an interval start, -bytes at its end. */
+    struct Event
+    {
+        double time;
+        double delta;
+        std::size_t idx; //!< owning interval
+    };
+
+    double capacity;
+    std::vector<Interval> intervals;
+    std::vector<Event> events;  //!< sorted by time
+    std::vector<double> prefix; //!< occupancy after events[i]
+
+    /** First event position with time > @p t. */
+    std::size_t upperBound(double t) const;
+
+    void insertEvent(double time, double delta, std::size_t idx);
+    void eraseEvent(double time, std::size_t idx);
+    void rebuildPrefixFrom(std::size_t pos);
+};
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_MEMORY_TRACKER_HH

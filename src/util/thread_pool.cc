@@ -1,0 +1,112 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace herald::util
+{
+
+std::size_t
+resolveThreadCount(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("HERALD_THREADS")) {
+        // strtoul wraps negative input around to huge values; cap at
+        // a sane bound so garbage degrades to the hardware default
+        // instead of an attempt to spawn 2^64 threads.
+        constexpr unsigned long kMaxThreads = 4096;
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && parsed > 0 && parsed <= kMaxThreads)
+            return static_cast<std::size_t>(parsed);
+    }
+    std::size_t hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    std::size_t n = resolveThreadCount(num_threads);
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex);
+        stopping = true;
+    }
+    queueCv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex);
+            queueCv.wait(lock,
+                         [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty()) {
+                if (stopping)
+                    return;
+                continue;
+            }
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+
+    auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+    auto first_error =
+        std::make_shared<std::atomic<bool>>(false);
+    auto error = std::make_shared<std::exception_ptr>();
+    auto error_mutex = std::make_shared<std::mutex>();
+
+    auto drain = [next, end, fn, first_error, error, error_mutex] {
+        for (;;) {
+            std::size_t i = next->fetch_add(1);
+            if (i >= end)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(*error_mutex);
+                if (!first_error->exchange(true))
+                    *error = std::current_exception();
+            }
+        }
+    };
+
+    // One helper task per worker; each drains indices until empty.
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(workers.size());
+    for (std::size_t w = 0; w < workers.size(); ++w)
+        helpers.push_back(submit(drain));
+
+    drain(); // the caller works too
+
+    for (std::future<void> &helper : helpers)
+        helper.wait();
+
+    if (first_error->load())
+        std::rethrow_exception(*error);
+}
+
+} // namespace herald::util

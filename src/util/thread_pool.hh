@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A fixed-size worker pool for the DSE's embarrassingly parallel
+ * sweeps. Deliberately minimal: no work stealing, no task graph —
+ * tasks are pushed to one mutex-guarded queue and workers drain it.
+ * That is plenty for Herald's usage (hundreds of multi-millisecond
+ * candidate evaluations per batch) and keeps the scheduling
+ * deterministic to reason about: parallelFor hands out indices from
+ * an atomic counter, so every index runs exactly once on some worker
+ * while the caller's thread participates too.
+ *
+ * The worker count knob: explicit argument > HERALD_THREADS
+ * environment variable > std::thread::hardware_concurrency().
+ */
+
+#ifndef HERALD_UTIL_THREAD_POOL_HH
+#define HERALD_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace herald::util
+{
+
+/**
+ * Resolve a thread-count request: @p requested > 0 is taken as-is;
+ * 0 falls back to the HERALD_THREADS environment variable, then to
+ * the hardware concurrency (at least 1).
+ */
+std::size_t resolveThreadCount(std::size_t requested = 0);
+
+/** Fixed worker pool; see file comment. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (0 => resolveThreadCount()). */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (>= 1). */
+    std::size_t size() const { return workers.size(); }
+
+    /** Queue @p fn and get a future for its result. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(queueMutex);
+            tasks.push([task] { (*task)(); });
+        }
+        queueCv.notify_one();
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [begin, end). The calling thread
+     * participates, so the pool also works with zero spare cores.
+     * Exceptions from @p fn are rethrown on the caller (first one
+     * wins); remaining indices still get consumed.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex queueMutex;
+    std::condition_variable queueCv;
+    bool stopping = false;
+
+    void workerLoop();
+};
+
+} // namespace herald::util
+
+#endif // HERALD_UTIL_THREAD_POOL_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ThreadPool tests: every index runs exactly once, futures deliver
+ * results, exceptions propagate to the caller, and the thread-count
+ * knob resolves in the documented precedence order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using herald::util::ThreadPool;
+using herald::util::resolveThreadCount;
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h.store(0);
+    pool.parallelFor(0, hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsRange)
+{
+    ThreadPool pool(2);
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(10, 20,
+                     [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 145u); // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+    pool.parallelFor(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureResult)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException)
+{
+    ThreadPool pool(3);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallelFor(0, 64,
+                         [&](std::size_t i) {
+                             if (i == 13)
+                                 throw std::runtime_error("boom");
+                             completed.fetch_add(1);
+                         }),
+        std::runtime_error);
+    // All non-throwing indices were still consumed.
+    EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountPrecedence)
+{
+    // Explicit request wins.
+    EXPECT_EQ(resolveThreadCount(7), 7u);
+
+    // Environment variable is used when the request is 0.
+    ASSERT_EQ(setenv("HERALD_THREADS", "3", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 3u);
+
+    // Garbage / non-positive values fall through to the hardware.
+    ASSERT_EQ(setenv("HERALD_THREADS", "nope", 1), 0);
+    EXPECT_GE(resolveThreadCount(0), 1u);
+    ASSERT_EQ(unsetenv("HERALD_THREADS"), 0);
+    EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 8; ++round) {
+        std::atomic<int> sum{0};
+        pool.parallelFor(0, 100,
+                         [&](std::size_t) { sum.fetch_add(1); });
+        EXPECT_EQ(sum.load(), 100);
+    }
+}
+
+} // namespace
