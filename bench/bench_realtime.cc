@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Real-time scenario benchmark: SLA outcomes (deadline miss counts,
+ * p50/p99 frame latency) of FIFO vs. deadline-aware (EDF) scheduling
+ * on the factory real-time scenarios, plus scheduler throughput on
+ * periodic workloads and a timed SLA-objective partition sweep.
+ * Emits machine-readable JSON (default BENCH_realtime.json) so
+ * successive PRs can track both the SLA quality and the perf
+ * trajectory.
+ *
+ * Usage:
+ *   bench_realtime [--threads N] [--out FILE] [--small]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace herald;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    std::size_t frames = 0;
+    std::size_t framesWithDeadline = 0;
+    std::size_t fifoMisses = 0;
+    std::size_t edfMisses = 0;
+    double fifoP99Ms = 0.0;
+    double edfP99Ms = 0.0;
+    double edfP50Ms = 0.0;
+    double schedUsPerLayer = 0.0;
+};
+
+sched::ScheduleSummary
+runOnce(cost::CostModel &model, const workload::Workload &wl,
+        const accel::Accelerator &acc, bool deadline_aware)
+{
+    sched::SchedulerOptions opts;
+    opts.deadlineAware = deadline_aware;
+    sched::HeraldScheduler scheduler(model, opts);
+    sched::Schedule s = scheduler.schedule(wl, acc);
+    std::string issue = s.validate(wl, acc);
+    if (!issue.empty())
+        util::panic("invalid schedule on ", acc.name(), ": ", issue);
+    return s.finalize(wl, acc, model.energyModel());
+}
+
+ScenarioResult
+runScenario(const workload::Workload &wl,
+            const accel::Accelerator &acc)
+{
+    cost::CostModel model;
+    sched::ScheduleSummary fifo = runOnce(model, wl, acc, false);
+    sched::ScheduleSummary edf = runOnce(model, wl, acc, true);
+
+    ScenarioResult r;
+    r.name = wl.name();
+    r.frames = edf.sla.frames;
+    r.framesWithDeadline = edf.sla.framesWithDeadline;
+    r.fifoMisses = fifo.sla.deadlineMisses;
+    r.edfMisses = edf.sla.deadlineMisses;
+    r.fifoP99Ms = fifo.sla.p99LatencyCycles / 1e6;
+    r.edfP99Ms = edf.sla.p99LatencyCycles / 1e6;
+    r.edfP50Ms = edf.sla.p50LatencyCycles / 1e6;
+
+    // Scheduler throughput on the periodic workload, warm cache.
+    sched::SchedulerOptions opts;
+    opts.deadlineAware = true;
+    sched::HeraldScheduler scheduler(model, opts);
+    scheduler.schedule(wl, acc);
+    const int reps = 5;
+    Clock::time_point start = Clock::now();
+    for (int i = 0; i < reps; ++i)
+        scheduler.schedule(wl, acc);
+    r.schedUsPerLayer = secondsSince(start) / reps * 1e6 /
+                        static_cast<double>(wl.totalLayers());
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+
+    std::size_t threads = 0;
+    std::string out_path = "BENCH_realtime.json";
+    bool small = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--small") == 0) {
+            small = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [--out FILE] "
+                         "[--small]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+
+    std::FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+
+    accel::AcceleratorClass chip = accel::edgeClass();
+    accel::Accelerator acc = accel::Accelerator::makeHda(
+        chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao},
+        {chip.numPes / 2, chip.numPes / 2},
+        {chip.bwGBps / 2, chip.bwGBps / 2});
+
+    const int frames60 = small ? 2 : 4;
+    std::vector<ScenarioResult> results;
+    results.push_back(
+        runScenario(workload::arvrA60fps(frames60), acc));
+    results.push_back(
+        runScenario(workload::mixedTenantScenario(frames60), acc));
+
+    std::printf("=== Real-time scenarios on %s (%s) ===\n",
+                acc.name().c_str(), small ? "small" : "full");
+    for (const ScenarioResult &r : results) {
+        std::printf("%-24s %zu frames: FIFO %zu/%zu misses "
+                    "(p99 %.2f ms) | EDF %zu/%zu misses "
+                    "(p50 %.2f, p99 %.2f ms) | %.2f us/layer\n",
+                    r.name.c_str(), r.frames, r.fifoMisses,
+                    r.framesWithDeadline, r.fifoP99Ms, r.edfMisses,
+                    r.framesWithDeadline, r.edfP50Ms, r.edfP99Ms,
+                    r.schedUsPerLayer);
+    }
+
+    // Timed SLA-objective partition sweep (perf trajectory).
+    cost::CostModel model;
+    dse::HeraldOptions dse_opts;
+    dse_opts.partition.peGranularity =
+        chip.numPes / (small ? 4 : 16);
+    dse_opts.partition.bwGranularity =
+        chip.bwGBps / (small ? 4 : 8);
+    dse_opts.objective = dse::Objective::SlaViolations;
+    dse_opts.scheduler.deadlineAware = true;
+    dse_opts.numThreads = threads;
+    dse::Herald herald(model, dse_opts);
+    workload::Workload sweep_wl =
+        workload::mixedTenantScenario(small ? 1 : 2);
+    Clock::time_point start = Clock::now();
+    dse::DseResult dse_result = herald.explore(
+        sweep_wl, chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao});
+    double sweep_seconds = secondsSince(start);
+    std::printf("SLA sweep: %zu candidates in %.3f s, best %s "
+                "(%zu misses)\n",
+                dse_result.points.size(), sweep_seconds,
+                dse_result.best().accelerator.name().c_str(),
+                dse_result.best().summary.sla.deadlineMisses);
+
+    std::fprintf(json, "{\n  \"chip\": \"%s\",\n  \"grid\": \"%s\","
+                       "\n  \"scenarios\": [\n",
+                 chip.name.c_str(), small ? "small" : "full");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
+        std::fprintf(
+            json,
+            "    {\"name\": \"%s\", \"frames\": %zu, "
+            "\"frames_with_deadline\": %zu, "
+            "\"fifo_misses\": %zu, \"edf_misses\": %zu, "
+            "\"fifo_p99_ms\": %.4f, \"edf_p50_ms\": %.4f, "
+            "\"edf_p99_ms\": %.4f, "
+            "\"scheduler_us_per_layer\": %.3f}%s\n",
+            r.name.c_str(), r.frames, r.framesWithDeadline,
+            r.fifoMisses, r.edfMisses, r.fifoP99Ms, r.edfP50Ms,
+            r.edfP99Ms, r.schedUsPerLayer,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"sla_sweep_candidates\": %zu,\n"
+                 "  \"sla_sweep_seconds\": %.6f,\n"
+                 "  \"sla_sweep_best_misses\": %zu\n"
+                 "}\n",
+                 dse_result.points.size(), sweep_seconds,
+                 dse_result.best().summary.sla.deadlineMisses);
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

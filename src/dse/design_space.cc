@@ -83,6 +83,22 @@ bwStep(double total_bw, const PartitionSpaceOptions &opts)
     return step;
 }
 
+/**
+ * Coarsening factor for an axis with @p units fine-grained units
+ * split @p ways ways: the largest of {4, 2, 1} that divides the unit
+ * count evenly and leaves every sub-accelerator at least two coarse
+ * units (so each axis still has real choices to search).
+ */
+std::uint64_t
+coarseMultiplier(std::uint64_t units, std::size_t ways)
+{
+    for (std::uint64_t mult : {std::uint64_t{4}, std::uint64_t{2}}) {
+        if (units % mult == 0 && units / mult >= 2 * ways)
+            return mult;
+    }
+    return 1;
+}
+
 std::vector<PartitionCandidate>
 gridCandidates(std::uint64_t total_pes, double total_bw,
                std::size_t ways, std::uint64_t pe_step, double bw_step)
@@ -126,22 +142,20 @@ generateCandidates(std::uint64_t total_pes, double total_bw,
         return gridCandidates(total_pes, total_bw, ways, pe_step,
                               bw_step);
       case SearchStrategy::Binary: {
-        // Coarse pass: quadruple the steps (at least two units per
-        // axis so the grid is non-trivial).
+        // Coarse pass: widen each axis step up to 4x the fine step,
+        // but only while every sub-accelerator keeps at least two
+        // coarse units of room on the axis (otherwise the coarse
+        // grid collapses to the trivial all-minimum split and the
+        // "search" degenerates). On chips too small for any
+        // widening, the coarse pass is just the fine grid.
+        std::uint64_t pe_units = total_pes / pe_step;
+        std::uint64_t bw_units = static_cast<std::uint64_t>(
+            std::llround(total_bw / bw_step));
         std::uint64_t coarse_pe =
-            std::min(pe_step * 4, total_pes / (2 * ways) > 0
-                                      ? pe_step * 4
-                                      : pe_step);
-        while (coarse_pe > pe_step &&
-               (total_pes % coarse_pe != 0 ||
-                total_pes / coarse_pe < ways)) {
-            coarse_pe /= 2;
-        }
-        double coarse_bw = bw_step * 4;
-        while (coarse_bw > bw_step &&
-               total_bw / coarse_bw < static_cast<double>(ways)) {
-            coarse_bw /= 2;
-        }
+            pe_step * coarseMultiplier(pe_units, ways);
+        double coarse_bw =
+            bw_step *
+            static_cast<double>(coarseMultiplier(bw_units, ways));
         return gridCandidates(total_pes, total_bw, ways, coarse_pe,
                               coarse_bw);
       }
@@ -175,9 +189,14 @@ refineAround(const PartitionCandidate &center, std::uint64_t total_pes,
 {
     if (center.peSplit.size() != 2) {
         // Refinement is defined pairwise; for >2 ways fall back to
-        // the fine exhaustive grid.
+        // the fine exhaustive grid. The strategy must be forced to
+        // Exhaustive here: under Binary, generateCandidates would
+        // hand back the *coarse* grid again and the refinement round
+        // would re-evaluate it verbatim.
+        PartitionSpaceOptions fine = opts;
+        fine.strategy = SearchStrategy::Exhaustive;
         return generateCandidates(total_pes, total_bw,
-                                  center.peSplit.size(), opts);
+                                  center.peSplit.size(), fine);
     }
     std::uint64_t pe_step = peStep(total_pes, opts);
     double bw_step = bwStep(total_bw, opts);

@@ -1,13 +1,43 @@
 #include "dse/herald_dse.hh"
 
+#include <cmath>
 #include <limits>
 #include <optional>
+#include <string>
+#include <unordered_set>
 
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace herald::dse
 {
+
+namespace
+{
+
+/**
+ * Canonical key of a partition candidate for duplicate detection.
+ * Bandwidth shares are quantized to 2^-20 GB/s so grid points that
+ * differ only by floating-point noise collapse to one key.
+ */
+std::string
+candidateKey(const PartitionCandidate &cand)
+{
+    std::string key;
+    for (std::uint64_t pe : cand.peSplit) {
+        key += std::to_string(pe);
+        key += ',';
+    }
+    key += '|';
+    for (double bw : cand.bwSplit) {
+        key += std::to_string(
+            std::llround(bw * static_cast<double>(1 << 20)));
+        key += ',';
+    }
+    return key;
+}
+
+} // namespace
 
 std::vector<util::DesignPoint>
 DseResult::designPoints() const
@@ -24,18 +54,42 @@ Herald::Herald(cost::CostModel &model, HeraldOptions options)
 {
 }
 
+const char *
+toString(Objective objective)
+{
+    switch (objective) {
+      case Objective::Edp:
+        return "EDP";
+      case Objective::Latency:
+        return "latency";
+      case Objective::Energy:
+        return "energy";
+      case Objective::SlaViolations:
+        return "SLA violations";
+    }
+    util::panic("unknown Objective");
+}
+
 double
 Herald::objectiveValue(const sched::ScheduleSummary &summary) const
 {
     switch (opts.objective) {
-      case sched::Metric::Edp:
+      case Objective::Edp:
         return summary.edp();
-      case sched::Metric::Latency:
+      case Objective::Latency:
         return summary.latencySec;
-      case sched::Metric::Energy:
+      case Objective::Energy:
         return summary.energyMj;
+      case Objective::SlaViolations: {
+        // Lexicographic (misses, latency) folded into one double:
+        // the latency term is squashed below 1, so one extra miss
+        // always outweighs any latency difference.
+        double lat = summary.latencySec;
+        return static_cast<double>(summary.sla.deadlineMisses) +
+               lat / (1.0 + lat);
+      }
     }
-    util::panic("unknown Metric");
+    util::panic("unknown Objective");
 }
 
 DsePoint
@@ -44,7 +98,7 @@ Herald::evaluate(const workload::Workload &wl,
 {
     sched::HeraldScheduler scheduler(costModel, opts.scheduler);
     sched::Schedule schedule = scheduler.schedule(wl, acc);
-    DsePoint point{acc, schedule.finalize(acc,
+    DsePoint point{acc, schedule.finalize(wl, acc,
                                           costModel.energyModel(),
                                           opts.chargeIdleEnergy)};
     return point;
@@ -114,10 +168,24 @@ Herald::explore(const workload::Workload &wl,
 
     if (opts.partition.strategy == SearchStrategy::Binary &&
         best_cand) {
-        // Refine around the coarse optimum on the fine grid.
-        evaluate_candidates(refineAround(*best_cand, chip.numPes,
-                                         chip.bwGBps,
-                                         opts.partition));
+        // Refine around the coarse optimum on the fine grid, but
+        // never re-evaluate a (peSplit, bwSplit) point the coarse
+        // round already scored — the refinement window overlaps the
+        // coarse grid (including its own center). Filtering keeps
+        // the surviving candidates in refineAround's order, so the
+        // sweep stays bit-identical across thread counts.
+        std::unordered_set<std::string> seen;
+        for (const PartitionCandidate &c : candidates)
+            seen.insert(candidateKey(c));
+        std::vector<PartitionCandidate> refined = refineAround(
+            *best_cand, chip.numPes, chip.bwGBps, opts.partition);
+        std::vector<PartitionCandidate> fresh;
+        fresh.reserve(refined.size());
+        for (PartitionCandidate &c : refined) {
+            if (seen.insert(candidateKey(c)).second)
+                fresh.push_back(std::move(c));
+        }
+        evaluate_candidates(fresh);
     }
 
     if (result.points.empty())

@@ -51,12 +51,34 @@ struct DseResult
     std::vector<util::DesignPoint> designPoints() const;
 };
 
+/**
+ * What Herald::explore minimizes over the partition space. Unlike
+ * sched::Metric (the per-layer assignment metric), objectives are
+ * whole-schedule properties — including the SLA dimension of
+ * real-time workloads.
+ */
+enum class Objective
+{
+    Edp,
+    Latency,
+    Energy,
+    /**
+     * Deadline-miss count first, whole-workload latency as the
+     * tie-break (encoded so any miss dominates any latency delta).
+     * Meaningful on workloads with deadlines; pair it with
+     * scheduler.deadlineAware.
+     */
+    SlaViolations,
+};
+
+const char *toString(Objective objective);
+
 /** Herald configuration. */
 struct HeraldOptions
 {
     PartitionSpaceOptions partition{};
     sched::SchedulerOptions scheduler{};
-    sched::Metric objective = sched::Metric::Edp;
+    Objective objective = Objective::Edp;
     /** Charge idle static energy at schedule level. */
     bool chargeIdleEnergy = true;
     /**

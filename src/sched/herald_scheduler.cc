@@ -79,32 +79,88 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         return schedule;
 
     std::vector<std::size_t> next_layer(n_inst, 0);
+    // A layer chain becomes ready at its instance's arrival, not at
+    // cycle 0 — real-time scenarios stagger frames this way.
     std::vector<double> ready_time(n_inst, 0.0);
+    for (std::size_t i = 0; i < n_inst; ++i)
+        ready_time[i] = wl.instances()[i].arrivalCycle;
     std::vector<double> acc_avail(n_acc, 0.0);
     std::vector<std::size_t> acc_last_instance(n_acc, SIZE_MAX);
     MemoryTracker memory(acc.globalBufferBytes());
 
     std::size_t remaining = wl.totalLayers();
     std::size_t rotate = 0; // breadth-first round-robin cursor
+    // Release clock: the latest end cycle committed so far. An
+    // instance competes for dispatch only once its arrival is inside
+    // the committed horizon — a monotone notion of "now" that an
+    // idle sub-accelerator cannot pin at zero.
+    double release_frontier = 0.0;
 
     while (remaining > 0) {
         // --- Layer ordering heuristic: pick the next instance ---
+        // Candidates are visited in the base ordering's preference
+        // (round-robin from the rotate cursor, or instance order).
+        // Only instances that have arrived by the release frontier
+        // compete — otherwise the greedy pass would reserve slots at
+        // future arrivals and serialize already-arrived work behind
+        // frames that do not exist yet. Without deadlineAware the
+        // first released candidate wins; with it, the released
+        // candidate with the nearest absolute deadline wins and the
+        // base order breaks ties — so the two policies coincide on
+        // deadline-free workloads.
+        auto pending = [&](std::size_t cand) {
+            return next_layer[cand] < wl.modelOf(cand).numLayers();
+        };
+        auto base_order = [&](std::size_t k) {
+            return opts.ordering == Ordering::BreadthFirst
+                       ? (rotate + k) % n_inst
+                       : k;
+        };
+
         std::size_t inst = SIZE_MAX;
-        if (opts.ordering == Ordering::BreadthFirst) {
-            for (std::size_t k = 0; k < n_inst; ++k) {
-                std::size_t cand = (rotate + k) % n_inst;
-                if (next_layer[cand] <
-                    wl.modelOf(cand).numLayers()) {
-                    inst = cand;
+        double best_deadline = workload::kNoDeadline;
+        for (std::size_t k = 0; k < n_inst; ++k) {
+            std::size_t cand = base_order(k);
+            if (!pending(cand))
+                continue;
+            if (wl.instances()[cand].arrivalCycle >
+                release_frontier + kEps)
+                continue; // not yet arrived
+            if (inst == SIZE_MAX) {
+                inst = cand;
+                best_deadline =
+                    wl.instances()[cand].deadlineCycle;
+                if (!opts.deadlineAware)
                     break;
-                }
+                continue;
             }
-        } else {
-            for (std::size_t cand = 0; cand < n_inst; ++cand) {
-                if (next_layer[cand] <
-                    wl.modelOf(cand).numLayers()) {
+            double deadline = wl.instances()[cand].deadlineCycle;
+            if (deadline < best_deadline) {
+                inst = cand;
+                best_deadline = deadline;
+            }
+        }
+        if (inst == SIZE_MAX) {
+            // Nothing has arrived yet: dispatch the nearest future
+            // arrival (EDF breaks equal-arrival ties when enabled).
+            double best_arrival = workload::kNoDeadline;
+            for (std::size_t k = 0; k < n_inst; ++k) {
+                std::size_t cand = base_order(k);
+                if (!pending(cand))
+                    continue;
+                const workload::Instance &ci =
+                    wl.instances()[cand];
+                bool better =
+                    inst == SIZE_MAX ||
+                    ci.arrivalCycle < best_arrival - kEps ||
+                    (opts.deadlineAware &&
+                     std::abs(ci.arrivalCycle - best_arrival) <=
+                         kEps &&
+                     ci.deadlineCycle < best_deadline);
+                if (better) {
                     inst = cand;
-                    break;
+                    best_arrival = ci.arrivalCycle;
+                    best_deadline = ci.deadlineCycle;
                 }
             }
         }
@@ -187,6 +243,8 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 
         ready_time[inst] = entry.endCycle;
         acc_avail[chosen] = entry.endCycle;
+        release_frontier =
+            std::max(release_frontier, entry.endCycle);
         acc_last_instance[chosen] = inst;
         ++next_layer[inst];
         --remaining;
@@ -194,7 +252,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     }
 
     if (opts.postProcess)
-        postProcessIdleTime(schedule, acc);
+        postProcessIdleTime(schedule, wl, acc);
     return schedule;
 }
 
@@ -237,6 +295,7 @@ buildTracker(const std::vector<ScheduledLayer> &entries,
 
 void
 HeraldScheduler::postProcessIdleTime(Schedule &schedule,
+                                     const workload::Workload &wl,
                                      const accel::Accelerator &acc)
     const
 {
@@ -245,13 +304,20 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
         return;
     auto dep_index = buildDependenceIndex(entries);
 
+    // Earliest legal start: the predecessor's end, but never before
+    // the instance's arrival (pull/gap-fill must not hoist a frame's
+    // layers ahead of the frame itself).
     auto dep_ready = [&](const ScheduledLayer &e) {
+        double arrival =
+            wl.instances()[e.instanceIdx].arrivalCycle;
         if (e.layerIdx == 0)
-            return 0.0;
+            return arrival;
         auto it =
             dep_index.find(depKey(e.instanceIdx, e.layerIdx - 1));
-        return it == dep_index.end() ? 0.0
-                                     : entries[it->second].endCycle;
+        return it == dep_index.end()
+                   ? arrival
+                   : std::max(arrival,
+                              entries[it->second].endCycle);
     };
 
     for (int pass = 0; pass < opts.maxPostPasses; ++pass) {
@@ -310,36 +376,45 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                               return entries[a].startCycle <
                                      entries[b].startCycle;
                           });
+                // Gaps include the leading idle window before the
+                // sub-accelerator's first entry (pos == 0) — with
+                // staggered arrivals a frame pinned at its arrival
+                // can leave a long head gap that later-queued but
+                // already-arrived work should fill. A candidate is
+                // placed at the earliest point inside the gap its
+                // dependences and arrival allow, not just at the
+                // gap's left edge.
                 for (std::size_t pos = 0;
-                     pos + 1 < vec.size() && !moved; ++pos) {
-                    double gap_start = entries[vec[pos]].endCycle;
-                    double gap_end =
-                        entries[vec[pos + 1]].startCycle;
+                     pos < vec.size() && !moved; ++pos) {
+                    double gap_start =
+                        pos == 0 ? 0.0
+                                 : entries[vec[pos - 1]].endCycle;
+                    double gap_end = entries[vec[pos]].startCycle;
                     if (gap_end - gap_start <= kEps)
                         continue;
                     int depth = 0;
-                    for (std::size_t j = pos + 1;
+                    for (std::size_t j = pos;
                          j < vec.size() &&
                          depth < opts.lookaheadDepth;
                          ++j, ++depth) {
                         ScheduledLayer &cand = entries[vec[j]];
                         double dur = cand.duration();
-                        if (dur > gap_end - gap_start + kEps)
-                            continue;
-                        if (cand.startCycle <= gap_start + kEps)
-                            continue;
-                        if (dep_ready(cand) > gap_start + kEps)
-                            continue;
+                        double earliest =
+                            std::max(gap_start, dep_ready(cand));
+                        if (earliest + dur > gap_end + kEps)
+                            continue; // does not fit in the gap
+                        if (cand.startCycle <= earliest + kEps)
+                            continue; // no improvement
                         if (!tracker.feasible(
-                                gap_start, dur,
+                                earliest, dur,
                                 static_cast<double>(
                                     cand.l2FootprintBytes),
                                 vec[j])) {
                             continue;
                         }
-                        tracker.move(vec[j], gap_start);
-                        cand.startCycle = gap_start;
-                        cand.endCycle = gap_start + dur;
+                        tracker.move(vec[j], earliest);
+                        cand.startCycle = earliest;
+                        cand.endCycle = earliest + dur;
                         changed = true;
                         moved = true;
                         break;

@@ -45,6 +45,15 @@ enum class Ordering
     DepthFirst,   //!< finish one model before the next
 };
 
+// Real-time semantics: every workload instance carries an
+// arrivalCycle (no layer of the instance may start earlier) and an
+// optional absolute deadlineCycle. The scheduler always respects
+// arrivals; when SchedulerOptions::deadlineAware is set, instance
+// selection additionally prefers the pending instance with the
+// nearest deadline (EDF), falling back to the configured Ordering
+// among equal deadlines — so on deadline-free workloads the
+// deadline-aware scheduler is exactly the baseline scheduler.
+
 const char *toString(Ordering ordering);
 
 /** Scheduler tuning knobs. */
@@ -52,6 +61,13 @@ struct SchedulerOptions
 {
     Metric metric = Metric::Edp;
     Ordering ordering = Ordering::BreadthFirst;
+
+    /**
+     * EDF-style instance selection: among instances with pending
+     * layers, prefer the nearest absolute deadline; ties (including
+     * all-deadline-free workloads) resolve via @c ordering.
+     */
+    bool deadlineAware = false;
 
     /** Enable the load-balancing feedback loop. */
     bool loadBalance = true;
@@ -102,6 +118,7 @@ class HeraldScheduler
 
     /** Idle-time elimination (Fig. 9): pull + gap-fill sweeps. */
     void postProcessIdleTime(Schedule &schedule,
+                             const workload::Workload &wl,
                              const accel::Accelerator &acc) const;
 };
 

@@ -1,6 +1,7 @@
 #include "sched/schedule.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 
@@ -74,6 +75,89 @@ Schedule::finalize(const accel::Accelerator &acc,
     return summary;
 }
 
+ScheduleSummary
+Schedule::finalize(const workload::Workload &wl,
+                   const accel::Accelerator &acc,
+                   const cost::EnergyModel &energy, bool charge_idle,
+                   double clock_ghz) const
+{
+    ScheduleSummary summary =
+        finalize(acc, energy, charge_idle, clock_ghz);
+    summary.sla = computeSla(wl);
+    return summary;
+}
+
+SlaStats
+Schedule::computeSla(const workload::Workload &wl) const
+{
+    SlaStats stats;
+    stats.frames = wl.numInstances();
+    if (stats.frames == 0)
+        return stats;
+
+    // Completion = the latest end cycle over an instance's layers;
+    // negative marks an instance with no scheduled layer at all.
+    std::vector<double> completion(wl.numInstances(), -1.0);
+    for (const ScheduledLayer &e : list) {
+        if (e.instanceIdx >= wl.numInstances())
+            util::panic("computeSla: instance ", e.instanceIdx,
+                        " out of range");
+        completion[e.instanceIdx] =
+            std::max(completion[e.instanceIdx], e.endCycle);
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(wl.numInstances());
+    for (std::size_t i = 0; i < wl.numInstances(); ++i) {
+        const workload::Instance &inst = wl.instances()[i];
+        InstanceSla sla;
+        sla.instanceIdx = i;
+        sla.arrivalCycle = inst.arrivalCycle;
+        sla.deadlineCycle = inst.deadlineCycle;
+        sla.scheduled = completion[i] >= 0.0;
+        if (inst.hasDeadline())
+            ++stats.framesWithDeadline;
+        if (sla.scheduled) {
+            sla.completionCycle = completion[i];
+            sla.latencyCycles = completion[i] - inst.arrivalCycle;
+            sla.missed = inst.hasDeadline() &&
+                         completion[i] > inst.deadlineCycle + kEps;
+            stats.maxLatencyCycles = std::max(
+                stats.maxLatencyCycles, sla.latencyCycles);
+            latencies.push_back(sla.latencyCycles);
+        } else {
+            // Never executed: a frame that does not run cannot make
+            // its deadline. Latency is undefined and excluded from
+            // the percentiles.
+            sla.completionCycle = workload::kNoDeadline;
+            sla.latencyCycles = workload::kNoDeadline;
+            sla.missed = inst.hasDeadline();
+        }
+        if (sla.missed)
+            ++stats.deadlineMisses;
+        stats.perInstance.push_back(sla);
+    }
+    if (stats.framesWithDeadline > 0) {
+        stats.missRate =
+            static_cast<double>(stats.deadlineMisses) /
+            static_cast<double>(stats.framesWithDeadline);
+    }
+
+    // Nearest-rank percentiles over scheduled-frame latencies.
+    if (!latencies.empty()) {
+        std::sort(latencies.begin(), latencies.end());
+        auto rank = [&](double q) {
+            std::size_t n = latencies.size();
+            std::size_t r = static_cast<std::size_t>(
+                std::ceil(q * static_cast<double>(n)));
+            return latencies[std::min(n - 1, r > 0 ? r - 1 : 0)];
+        };
+        stats.p50LatencyCycles = rank(0.50);
+        stats.p99LatencyCycles = rank(0.99);
+    }
+    return stats;
+}
+
 std::string
 Schedule::validate(const workload::Workload &wl,
                    const accel::Accelerator &acc) const
@@ -114,6 +198,17 @@ Schedule::validate(const workload::Workload &wl,
         err << "schedule has " << seen.size() << " layers, workload has "
             << wl.totalLayers();
         return err.str();
+    }
+
+    // Arrival: no layer starts before its instance arrives.
+    for (const ScheduledLayer &e : list) {
+        double arrival = wl.instances()[e.instanceIdx].arrivalCycle;
+        if (e.startCycle < arrival - kEps) {
+            err << "arrival violation: instance " << e.instanceIdx
+                << " layer " << e.layerIdx << " starts "
+                << e.startCycle << " before arrival " << arrival;
+            return err.str();
+        }
     }
 
     // Dependence: layer l starts after layer l-1 of the same instance.

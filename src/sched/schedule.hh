@@ -36,6 +36,31 @@ struct ScheduledLayer
     double duration() const { return endCycle - startCycle; }
 };
 
+/** Per-instance (frame) service-level outcome. */
+struct InstanceSla
+{
+    std::size_t instanceIdx = 0;
+    double arrivalCycle = 0.0;
+    double completionCycle = 0.0; //!< kNoDeadline when !scheduled
+    double latencyCycles = 0.0;   //!< completion - arrival
+    double deadlineCycle = 0.0;   //!< absolute; kNoDeadline if none
+    bool scheduled = false; //!< any layer present in the schedule
+    bool missed = false;    //!< completion > deadline, or never run
+};
+
+/** SLA metrics of a schedule against a real-time workload. */
+struct SlaStats
+{
+    std::size_t frames = 0;             //!< workload instances
+    std::size_t framesWithDeadline = 0; //!< finite-deadline subset
+    std::size_t deadlineMisses = 0; //!< incl. never-scheduled frames
+    double missRate = 0.0; //!< misses / framesWithDeadline (0 if none)
+    double p50LatencyCycles = 0.0; //!< median frame latency
+    double p99LatencyCycles = 0.0; //!< tail frame latency
+    double maxLatencyCycles = 0.0;
+    std::vector<InstanceSla> perInstance; //!< by instance index
+};
+
 /** Aggregate metrics of a finalized schedule. */
 struct ScheduleSummary
 {
@@ -44,6 +69,8 @@ struct ScheduleSummary
     double energyUnits = 0.0; //!< dynamic + idle static
     double energyMj = 0.0;
     std::vector<double> busyCycles; //!< per sub-accelerator
+    /** Filled by the workload-aware finalize overload. */
+    SlaStats sla{};
 
     double edp() const { return latencySec * energyMj; }
 };
@@ -83,6 +110,21 @@ class Schedule
                              const cost::EnergyModel &energy,
                              bool charge_idle = true,
                              double clock_ghz = 1.0) const;
+
+    /**
+     * Workload-aware finalize: everything the base overload computes
+     * plus the SLA statistics (per-instance completion latency,
+     * deadline miss count/rate, p50/p99 frame latency) against the
+     * workload's arrivals and deadlines.
+     */
+    ScheduleSummary finalize(const workload::Workload &wl,
+                             const accel::Accelerator &acc,
+                             const cost::EnergyModel &energy,
+                             bool charge_idle = true,
+                             double clock_ghz = 1.0) const;
+
+    /** The SLA statistics alone (also embedded by finalize(wl,..)). */
+    SlaStats computeSla(const workload::Workload &wl) const;
 
     /**
      * Validate against the workload and accelerator: completeness,

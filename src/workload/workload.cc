@@ -1,5 +1,7 @@
 #include "workload/workload.hh"
 
+#include <algorithm>
+
 #include "dnn/model_zoo.hh"
 #include "util/logging.hh"
 
@@ -7,22 +9,68 @@ namespace herald::workload
 {
 
 void
-Workload::addModel(dnn::Model model, int batches)
+Workload::addModel(dnn::Model model, int batches,
+                   double arrival_cycle, double deadline_cycles)
 {
     if (batches < 1)
         util::fatal("workload '", wlName, "': batches must be >= 1");
     if (model.numLayers() == 0)
         util::fatal("workload '", wlName, "': empty model '",
                     model.name(), "'");
+    if (arrival_cycle < 0.0)
+        util::fatal("workload '", wlName, "': negative arrival");
+    if (deadline_cycles < 0.0)
+        util::fatal("workload '", wlName, "': negative deadline");
     std::size_t spec_idx = modelSpecs.size();
     for (int b = 0; b < batches; ++b) {
         Instance inst;
         inst.specIdx = spec_idx;
         inst.batchIdx = b;
         inst.name = model.name() + "#" + std::to_string(b + 1);
+        inst.arrivalCycle = arrival_cycle;
+        inst.deadlineCycle = deadline_cycles > 0.0
+                                 ? arrival_cycle + deadline_cycles
+                                 : kNoDeadline;
         insts.push_back(std::move(inst));
     }
-    modelSpecs.push_back(ModelSpec{std::move(model), batches});
+    RealtimeSpec rt;
+    rt.deadlineCycles = deadline_cycles;
+    modelSpecs.push_back(ModelSpec{std::move(model), batches, rt});
+}
+
+void
+Workload::addPeriodicModel(dnn::Model model, int frames,
+                           double period_cycles,
+                           double deadline_cycles,
+                           double phase_cycles)
+{
+    if (frames < 1)
+        util::fatal("workload '", wlName, "': frames must be >= 1");
+    if (model.numLayers() == 0)
+        util::fatal("workload '", wlName, "': empty model '",
+                    model.name(), "'");
+    if (period_cycles <= 0.0)
+        util::fatal("workload '", wlName, "': period must be > 0");
+    if (deadline_cycles < 0.0 || phase_cycles < 0.0)
+        util::fatal("workload '", wlName,
+                    "': negative deadline or phase");
+    const double rel_deadline =
+        deadline_cycles > 0.0 ? deadline_cycles : period_cycles;
+    std::size_t spec_idx = modelSpecs.size();
+    for (int f = 0; f < frames; ++f) {
+        Instance inst;
+        inst.specIdx = spec_idx;
+        inst.batchIdx = f;
+        inst.name = model.name() + "#" + std::to_string(f + 1);
+        inst.arrivalCycle =
+            phase_cycles + static_cast<double>(f) * period_cycles;
+        inst.deadlineCycle = inst.arrivalCycle + rel_deadline;
+        insts.push_back(std::move(inst));
+    }
+    RealtimeSpec rt;
+    rt.periodCycles = period_cycles;
+    rt.deadlineCycles = rel_deadline;
+    modelSpecs.push_back(ModelSpec{std::move(model), frames, rt});
 }
 
 const dnn::Model &
@@ -50,6 +98,34 @@ Workload::totalMacs() const
     for (const Instance &inst : insts)
         total += modelSpecs[inst.specIdx].model.totalMacs();
     return total;
+}
+
+bool
+Workload::hasArrivals() const
+{
+    for (const Instance &inst : insts) {
+        if (inst.arrivalCycle > 0.0)
+            return true;
+    }
+    return false;
+}
+
+bool
+Workload::hasDeadlines() const
+{
+    for (const Instance &inst : insts) {
+        if (inst.hasDeadline())
+            return true;
+    }
+    return false;
+}
+
+double
+fpsPeriodCycles(double fps, double clock_ghz)
+{
+    if (fps <= 0.0 || clock_ghz <= 0.0)
+        util::fatal("fpsPeriodCycles: fps and clock must be > 0");
+    return clock_ghz * 1e9 / fps;
 }
 
 Workload
@@ -84,6 +160,41 @@ mlperf(int batch)
     wl.addModel(dnn::ssdResnet34(), batch);
     wl.addModel(dnn::ssdMobileNetV1(), batch);
     wl.addModel(dnn::gnmt(), batch);
+    return wl;
+}
+
+Workload
+arvrA60fps(int frames60, double clock_ghz)
+{
+    if (frames60 < 1)
+        util::fatal("arvrA60fps: frames60 must be >= 1");
+    Workload wl("AR/VR-A@60fps");
+    const double p60 = fpsPeriodCycles(60.0, clock_ghz);
+    const double p30 = fpsPeriodCycles(30.0, clock_ghz);
+    const double p15 = fpsPeriodCycles(15.0, clock_ghz);
+    wl.addPeriodicModel(dnn::mobileNetV2(), frames60, p60);
+    wl.addPeriodicModel(dnn::uNet(), std::max(1, frames60 / 2), p30);
+    wl.addPeriodicModel(dnn::resnet50(), std::max(1, frames60 / 4),
+                        p15);
+    return wl;
+}
+
+Workload
+mixedTenantScenario(int frames60, double clock_ghz)
+{
+    if (frames60 < 1)
+        util::fatal("mixedTenantScenario: frames60 must be >= 1");
+    Workload wl("AR/VR+MLPerf tenants");
+    const double p60 = fpsPeriodCycles(60.0, clock_ghz);
+    const double p30 = fpsPeriodCycles(30.0, clock_ghz);
+    // Latency-critical AR/VR tenant.
+    wl.addPeriodicModel(dnn::mobileNetV2(), frames60, p60);
+    wl.addPeriodicModel(dnn::brqHandposeNet(), frames60, p60);
+    wl.addPeriodicModel(dnn::focalLengthDepthNet(),
+                        std::max(1, frames60 / 2), p30);
+    // Best-effort MLPerf tenant: batch jobs, no deadlines.
+    wl.addModel(dnn::resnet50(), 2);
+    wl.addModel(dnn::ssdMobileNetV1(), 1);
     return wl;
 }
 

@@ -6,12 +6,20 @@
  * cross-dependences, while layers within one instance form a linear
  * dependence chain — exactly the structure the paper's scheduling
  * heuristics exploit.
+ *
+ * Real-time scenarios extend the flat bag-of-instances model with
+ * arrivals and deadlines: a periodic model ("MobileNetV2 @ 60 FPS for
+ * K frames") expands into one instance per frame with staggered
+ * arrival cycles and per-frame absolute deadlines, which the
+ * scheduler (sched::SchedulerOptions::deadlineAware) and the SLA
+ * metrics (sched::SlaStats) consume.
  */
 
 #ifndef HERALD_WORKLOAD_WORKLOAD_HH
 #define HERALD_WORKLOAD_WORKLOAD_HH
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -20,19 +28,37 @@
 namespace herald::workload
 {
 
+/** Absolute-deadline value meaning "no deadline". */
+inline constexpr double kNoDeadline =
+    std::numeric_limits<double>::infinity();
+
+/** Real-time attributes of a model spec (0 = aperiodic / none). */
+struct RealtimeSpec
+{
+    double periodCycles = 0.0;   //!< frame period; 0 = aperiodic
+    double deadlineCycles = 0.0; //!< relative deadline; 0 = none
+
+    bool periodic() const { return periodCycles > 0.0; }
+};
+
 /** One model plus its batch count. */
 struct ModelSpec
 {
     dnn::Model model;
     int batches = 1;
+    RealtimeSpec realtime{};
 };
 
 /** One independent executable copy of a model (one batch element). */
 struct Instance
 {
     std::size_t specIdx = 0; //!< index into specs()
-    int batchIdx = 0;        //!< which batch element this is
+    int batchIdx = 0;        //!< which batch element / frame this is
     std::string name;        //!< e.g. "Resnet50#1"
+    double arrivalCycle = 0.0;  //!< earliest cycle any layer may start
+    double deadlineCycle = kNoDeadline; //!< absolute completion target
+
+    bool hasDeadline() const { return deadlineCycle < kNoDeadline; }
 };
 
 /** A named multi-DNN workload. */
@@ -41,8 +67,26 @@ class Workload
   public:
     explicit Workload(std::string name) : wlName(std::move(name)) {}
 
-    /** Add @p model with @p batches independent copies. */
-    void addModel(dnn::Model model, int batches = 1);
+    /**
+     * Add @p model with @p batches independent copies, all arriving
+     * at @p arrival_cycle. A positive @p deadline_cycles gives every
+     * copy the absolute deadline arrival + deadline_cycles.
+     */
+    void addModel(dnn::Model model, int batches = 1,
+                  double arrival_cycle = 0.0,
+                  double deadline_cycles = 0.0);
+
+    /**
+     * Add a periodic real-time stream: @p frames instances of
+     * @p model with arrivals staggered by @p period_cycles starting
+     * at @p phase_cycles. Each frame's absolute deadline is its
+     * arrival plus @p deadline_cycles (the period when 0 — the
+     * classic implicit-deadline periodic task).
+     */
+    void addPeriodicModel(dnn::Model model, int frames,
+                          double period_cycles,
+                          double deadline_cycles = 0.0,
+                          double phase_cycles = 0.0);
 
     const std::string &name() const { return wlName; }
     const std::vector<ModelSpec> &specs() const { return modelSpecs; }
@@ -58,11 +102,20 @@ class Workload
     /** Total MACs across all instances. */
     std::uint64_t totalMacs() const;
 
+    /** True when any instance arrives after cycle 0. */
+    bool hasArrivals() const;
+
+    /** True when any instance carries a finite deadline. */
+    bool hasDeadlines() const;
+
   private:
     std::string wlName;
     std::vector<ModelSpec> modelSpecs;
     std::vector<Instance> insts;
 };
+
+/** Frame period in cycles for @p fps at @p clock_ghz. */
+double fpsPeriodCycles(double fps, double clock_ghz = 1.0);
 
 /** AR/VR-A: Resnet50 x2, UNet x4, MobileNetV2 x4 (Table II). */
 Workload arvrA();
@@ -72,6 +125,23 @@ Workload arvrB();
 
 /** MLPerf multi-stream: 5 models, @p batch copies each (Table II). */
 Workload mlperf(int batch = 1);
+
+/**
+ * Real-time AR/VR-A: the Table II mix as periodic frame streams —
+ * MobileNetV2 @ 60 FPS, UNet @ 30 FPS, Resnet50 @ 15 FPS — over a
+ * horizon of @p frames60 60-FPS frames at @p clock_ghz. Deadlines
+ * are implicit (one period).
+ */
+Workload arvrA60fps(int frames60 = 4, double clock_ghz = 1.0);
+
+/**
+ * Mixed-rate multi-tenant scenario: a latency-critical AR/VR tenant
+ * (MobileNetV2 + Br-Q Handpose @ 60 FPS, DepthNet @ 30 FPS) sharing
+ * the chip with a best-effort MLPerf tenant (Resnet50 + SSD-MobileNet
+ * batch jobs, no deadlines).
+ */
+Workload mixedTenantScenario(int frames60 = 2,
+                             double clock_ghz = 1.0);
 
 } // namespace herald::workload
 

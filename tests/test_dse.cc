@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "dse/design_space.hh"
 #include "dse/herald_dse.hh"
 #include "dnn/model_zoo.hh"
@@ -154,7 +157,7 @@ TEST_F(DseTest, ExploreObjectiveLatency)
     dse::HeraldOptions opts;
     opts.partition.peGranularity = 256;
     opts.partition.bwGranularity = 4.0;
-    opts.objective = sched::Metric::Latency;
+    opts.objective = dse::Objective::Latency;
     dse::Herald herald(model, opts);
     workload::Workload wl = miniWorkload();
     dse::DseResult result = herald.explore(
@@ -181,6 +184,125 @@ TEST_F(DseTest, BinaryRefinementAddsPoints)
     auto coarse_cands =
         dse::generateCandidates(1024, 16.0, 2, probe);
     EXPECT_GT(result.points.size(), coarse_cands.size());
+}
+
+TEST_F(DseTest, BinaryCoarseStepDegradesGracefullyOnSmallChips)
+{
+    // Plenty of units: the coarse pass really is 4x coarser.
+    PartitionSpaceOptions fine;
+    fine.peGranularity = 64;
+    fine.bwGranularity = 1.0;
+    PartitionSpaceOptions coarse = fine;
+    coarse.strategy = SearchStrategy::Binary;
+    auto coarse_c = dse::generateCandidates(1024, 16.0, 2, coarse);
+    // 16 units / 4 = 4 coarse units: 3 splits per axis.
+    EXPECT_EQ(coarse_c.size(), 9u);
+
+    // 8 units: 4x would leave one choice per axis, so only 2x.
+    PartitionSpaceOptions mid;
+    mid.peGranularity = 128;
+    mid.bwGranularity = 2.0;
+    mid.strategy = SearchStrategy::Binary;
+    auto mid_c = dse::generateCandidates(1024, 16.0, 2, mid);
+    EXPECT_EQ(mid_c.size(), 9u); // 4 coarse units per axis again
+
+    // total_pes barely above ways * pe_step (4 units, 2 ways): any
+    // coarsening would collapse the grid to the single all-minimum
+    // split; the coarse pass must degenerate to the fine grid
+    // instead of silently searching one point.
+    PartitionSpaceOptions tiny;
+    tiny.peGranularity = 256;
+    tiny.bwGranularity = 4.0;
+    PartitionSpaceOptions tiny_binary = tiny;
+    tiny_binary.strategy = SearchStrategy::Binary;
+    auto tiny_fine = dse::generateCandidates(1024, 16.0, 2, tiny);
+    auto tiny_coarse =
+        dse::generateCandidates(1024, 16.0, 2, tiny_binary);
+    EXPECT_EQ(tiny_coarse.size(), tiny_fine.size());
+    EXPECT_GT(tiny_coarse.size(), 1u);
+
+    // Odd unit count (3 units, 2 ways): no multiplier divides it.
+    PartitionSpaceOptions odd;
+    odd.peGranularity = 256;
+    odd.bwGranularity = 4.0;
+    odd.strategy = SearchStrategy::Binary;
+    auto odd_c = dse::generateCandidates(768, 12.0, 2, odd);
+    auto odd_fine_opts = odd;
+    odd_fine_opts.strategy = SearchStrategy::Exhaustive;
+    auto odd_fine =
+        dse::generateCandidates(768, 12.0, 2, odd_fine_opts);
+    EXPECT_EQ(odd_c.size(), odd_fine.size());
+}
+
+TEST_F(DseTest, RefineAroundThreeWayUsesFineGridNotCoarse)
+{
+    // Regression: with strategy still Binary, the >2-way fallback
+    // used to return the *coarse* grid — the refinement round then
+    // re-evaluated exactly the coarse candidates.
+    PartitionSpaceOptions opts;
+    opts.peGranularity = 64;
+    opts.bwGranularity = 1.0;
+    opts.strategy = SearchStrategy::Binary;
+    auto coarse = dse::generateCandidates(1024, 16.0, 3, opts);
+
+    PartitionCandidate center;
+    center.peSplit = {512, 256, 256};
+    center.bwSplit = {8.0, 4.0, 4.0};
+    auto refined = dse::refineAround(center, 1024, 16.0, opts);
+
+    PartitionSpaceOptions fine = opts;
+    fine.strategy = SearchStrategy::Exhaustive;
+    auto fine_grid = dse::generateCandidates(1024, 16.0, 3, fine);
+    EXPECT_EQ(refined.size(), fine_grid.size());
+    EXPECT_GT(refined.size(), coarse.size());
+}
+
+namespace
+{
+
+/** (peSplit, bwSplit) key of an evaluated HDA design point. */
+std::string
+pointKey(const dse::DsePoint &point)
+{
+    std::string key;
+    for (const auto &sub : point.accelerator.subAccs()) {
+        key += std::to_string(sub.numPes) + "/" +
+               std::to_string(sub.bwGBps) + ",";
+    }
+    return key;
+}
+
+} // namespace
+
+TEST_F(DseTest, BinaryRefinementEvaluatesNoCandidateTwice)
+{
+    for (std::size_t ways : {std::size_t{2}, std::size_t{3}}) {
+        dse::HeraldOptions opts;
+        opts.partition.peGranularity = 64;
+        opts.partition.bwGranularity = 2.0;
+        opts.partition.strategy = SearchStrategy::Binary;
+        dse::Herald herald(model, opts);
+        workload::Workload wl = miniWorkload();
+        std::vector<DataflowStyle> styles = {
+            DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+            DataflowStyle::Eyeriss};
+        styles.resize(ways);
+        dse::DseResult result =
+            herald.explore(wl, accel::edgeClass(), styles);
+
+        std::set<std::string> keys;
+        for (const dse::DsePoint &p : result.points) {
+            EXPECT_TRUE(keys.insert(pointKey(p)).second)
+                << ways << "-way: duplicate candidate "
+                << pointKey(p);
+        }
+        // The refinement round still contributes fresh points on
+        // top of the coarse grid.
+        auto coarse = dse::generateCandidates(
+            accel::edgeClass().numPes, accel::edgeClass().bwGBps,
+            ways, opts.partition);
+        EXPECT_GT(result.points.size(), coarse.size()) << ways;
+    }
 }
 
 TEST_F(DseTest, EvaluateFixedAccelerator)

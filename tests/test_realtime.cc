@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Real-time scenario engine tests: periodic workload expansion
+ * (arrivals, deadlines), arrival-aware scheduling validity, EDF
+ * vs. FIFO miss counts on the factory scenarios, SLA statistics, the
+ * SlaViolations DSE objective, and determinism across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "accel/accelerator.hh"
+#include "dnn/model_zoo.hh"
+#include "dse/herald_dse.hh"
+#include "sched/herald_scheduler.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using accel::Accelerator;
+using dataflow::DataflowStyle;
+using sched::HeraldScheduler;
+using sched::Schedule;
+using sched::SchedulerOptions;
+using workload::Workload;
+
+class RealtimeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    /** Small periodic two-stream workload that schedules fast. */
+    Workload
+    miniRealtime()
+    {
+        Workload wl("mini-rt");
+        dnn::Model conv_net("ConvNet");
+        conv_net.addLayer(dnn::makeConv("c1", 64, 3, 58, 58, 3, 3));
+        conv_net.addLayer(dnn::makeConv("c2", 128, 64, 28, 28, 3, 3));
+        conv_net.addLayer(dnn::makeFullyConnected("fc", 10, 128));
+        dnn::Model fc_net("FcNet");
+        fc_net.addLayer(dnn::makeFullyConnected("f1", 1024, 1024));
+        fc_net.addLayer(dnn::makeFullyConnected("f2", 256, 1024));
+        wl.addPeriodicModel(std::move(conv_net), 3, 4e6);
+        wl.addPeriodicModel(std::move(fc_net), 2, 6e6, 3e6);
+        return wl;
+    }
+
+    Accelerator
+    miniHda()
+    {
+        return Accelerator::makeHda(
+            accel::edgeClass(),
+            {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+            {512, 512}, {8.0, 8.0});
+    }
+
+    cost::CostModel model;
+};
+
+// ---------------------------------------------------------------
+// Workload expansion
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, PeriodicExpansionStaggersArrivals)
+{
+    Workload wl("t");
+    wl.addPeriodicModel(dnn::mobileNetV2(), 3, 1000.0);
+    ASSERT_EQ(wl.numInstances(), 3u);
+    for (int f = 0; f < 3; ++f) {
+        const workload::Instance &inst = wl.instances()[f];
+        EXPECT_DOUBLE_EQ(inst.arrivalCycle, f * 1000.0);
+        // Implicit deadline: one period after arrival.
+        EXPECT_DOUBLE_EQ(inst.deadlineCycle, f * 1000.0 + 1000.0);
+        EXPECT_TRUE(inst.hasDeadline());
+    }
+    EXPECT_TRUE(wl.hasArrivals());
+    EXPECT_TRUE(wl.hasDeadlines());
+    EXPECT_TRUE(wl.specs()[0].realtime.periodic());
+}
+
+TEST_F(RealtimeTest, ExplicitDeadlineAndPhase)
+{
+    Workload wl("t");
+    wl.addPeriodicModel(dnn::mobileNetV2(), 2, 1000.0, 400.0, 50.0);
+    EXPECT_DOUBLE_EQ(wl.instances()[0].arrivalCycle, 50.0);
+    EXPECT_DOUBLE_EQ(wl.instances()[0].deadlineCycle, 450.0);
+    EXPECT_DOUBLE_EQ(wl.instances()[1].arrivalCycle, 1050.0);
+    EXPECT_DOUBLE_EQ(wl.instances()[1].deadlineCycle, 1450.0);
+}
+
+TEST_F(RealtimeTest, AperiodicDefaultsUnchanged)
+{
+    Workload wl("t");
+    wl.addModel(dnn::mobileNetV2(), 2);
+    for (const workload::Instance &inst : wl.instances()) {
+        EXPECT_DOUBLE_EQ(inst.arrivalCycle, 0.0);
+        EXPECT_FALSE(inst.hasDeadline());
+    }
+    EXPECT_FALSE(wl.hasArrivals());
+    EXPECT_FALSE(wl.hasDeadlines());
+}
+
+TEST_F(RealtimeTest, AddModelWithArrivalAndDeadline)
+{
+    Workload wl("t");
+    wl.addModel(dnn::mobileNetV2(), 2, 100.0, 500.0);
+    EXPECT_DOUBLE_EQ(wl.instances()[1].arrivalCycle, 100.0);
+    EXPECT_DOUBLE_EQ(wl.instances()[1].deadlineCycle, 600.0);
+}
+
+TEST_F(RealtimeTest, RejectsBadRealtimeArguments)
+{
+    Workload wl("t");
+    EXPECT_THROW(wl.addPeriodicModel(dnn::mobileNetV2(), 0, 1000.0),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::mobileNetV2(), 1, 0.0),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addModel(dnn::mobileNetV2(), 1, -1.0),
+                 std::runtime_error);
+    EXPECT_THROW(workload::fpsPeriodCycles(0.0),
+                 std::runtime_error);
+}
+
+TEST_F(RealtimeTest, FpsPeriodCycles)
+{
+    // 60 FPS at 1 GHz: 1e9 / 60 cycles per frame.
+    EXPECT_NEAR(workload::fpsPeriodCycles(60.0), 1e9 / 60.0, 1e-3);
+    EXPECT_NEAR(workload::fpsPeriodCycles(30.0, 2.0), 2e9 / 30.0,
+                1e-3);
+}
+
+TEST_F(RealtimeTest, FactoryScenariosAreRealtime)
+{
+    Workload a = workload::arvrA60fps(4);
+    EXPECT_TRUE(a.hasArrivals());
+    EXPECT_TRUE(a.hasDeadlines());
+    // 4 MobileNetV2 frames + 2 UNet frames + 1 Resnet50 frame.
+    EXPECT_EQ(a.numInstances(), 7u);
+
+    Workload m = workload::mixedTenantScenario(2);
+    EXPECT_TRUE(m.hasDeadlines());
+    // The MLPerf tenant is best-effort: some instances deadline-free.
+    bool some_free = false;
+    for (const workload::Instance &inst : m.instances())
+        some_free |= !inst.hasDeadline();
+    EXPECT_TRUE(some_free);
+}
+
+// ---------------------------------------------------------------
+// Arrival-aware scheduling
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, ScheduleWithArrivalsIsValid)
+{
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    for (bool edf : {false, true}) {
+        for (bool pp : {false, true}) {
+            SchedulerOptions opts;
+            opts.deadlineAware = edf;
+            opts.postProcess = pp;
+            Schedule s =
+                HeraldScheduler(model, opts).schedule(wl, acc);
+            EXPECT_EQ(s.validate(wl, acc), "")
+                << "edf=" << edf << " pp=" << pp;
+        }
+    }
+}
+
+TEST_F(RealtimeTest, NoLayerStartsBeforeArrival)
+{
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    Schedule s = HeraldScheduler(model).schedule(wl, acc);
+    for (const sched::ScheduledLayer &e : s.entries()) {
+        EXPECT_GE(e.startCycle,
+                  wl.instances()[e.instanceIdx].arrivalCycle - 1e-6);
+    }
+}
+
+TEST_F(RealtimeTest, ValidatorCatchesArrivalViolation)
+{
+    Workload wl("t");
+    dnn::Model m("M");
+    m.addLayer(dnn::makeFullyConnected("a", 64, 64));
+    wl.addModel(std::move(m), 1, 1000.0);
+    Accelerator acc = miniHda();
+
+    Schedule s(acc.numSubAccs());
+    sched::ScheduledLayer e;
+    e.instanceIdx = 0;
+    e.layerIdx = 0;
+    e.accIdx = 0;
+    e.startCycle = 0.0; // before the instance arrives at 1000
+    e.endCycle = 100.0;
+    s.add(e);
+    std::string err = s.validate(wl, acc);
+    EXPECT_NE(err.find("arrival"), std::string::npos) << err;
+}
+
+TEST_F(RealtimeTest, FutureFramesDoNotBlockArrivedWork)
+{
+    // A periodic stream with far-apart arrivals shares the chip with
+    // a best-effort job arriving at cycle 0. The greedy pass must
+    // not reserve slots at future arrivals and serialize the
+    // best-effort work behind frames that do not exist yet: the job
+    // has to finish long before the stream's last frame arrives.
+    const double period = 5e7;
+    for (bool edf : {false, true}) {
+        Workload wl("future-frames");
+        wl.addPeriodicModel(dnn::mobileNetV2(), 4, period);
+        wl.addModel(dnn::mobileNetV1(), 1); // best-effort, arrival 0
+        Accelerator acc = miniHda();
+        SchedulerOptions opts;
+        opts.deadlineAware = edf;
+        Schedule s = HeraldScheduler(model, opts).schedule(wl, acc);
+        EXPECT_EQ(s.validate(wl, acc), "");
+        sched::SlaStats sla = s.computeSla(wl);
+        // Instance 4 is the best-effort MobileNetV1.
+        const sched::InstanceSla &job = sla.perInstance[4];
+        ASSERT_TRUE(job.scheduled);
+        EXPECT_LT(job.completionCycle, period)
+            << "best-effort job serialized behind future frames"
+            << " (edf=" << edf << ")";
+    }
+}
+
+TEST_F(RealtimeTest, EdfPreemptsAtDispatchOnceFrameIsReleased)
+{
+    // Depth-first FIFO runs all of M1 before M2. With deadlineAware,
+    // once M2's (tiny) arrival falls inside the committed schedule
+    // horizon it must be dispatched ahead of M1's remaining layers —
+    // M1 has no deadline, M2 a finite one. This regresses the
+    // release-clock definition: a frontier pinned at zero by an idle
+    // sub-accelerator would never release M2 before M1 finishes.
+    Workload wl("edf-preempt");
+    dnn::Model m1("Long");
+    for (int i = 0; i < 4; ++i) {
+        m1.addLayer(dnn::makeFullyConnected(
+            "l" + std::to_string(i), 1024, 1024));
+    }
+    dnn::Model m2("Urgent");
+    m2.addLayer(dnn::makeFullyConnected("u", 256, 256));
+    wl.addModel(std::move(m1), 1);
+    wl.addModel(std::move(m2), 1, 1.0, 2e5);
+    Accelerator acc = miniHda();
+
+    SchedulerOptions opts;
+    opts.ordering = sched::Ordering::DepthFirst;
+    opts.deadlineAware = true;
+    opts.postProcess = false;
+    Schedule s = HeraldScheduler(model, opts).schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
+
+    double m1_last_start = 0.0;
+    double m2_start = 0.0;
+    for (const sched::ScheduledLayer &e : s.entries()) {
+        if (e.instanceIdx == 0 && e.layerIdx == 3)
+            m1_last_start = e.startCycle;
+        if (e.instanceIdx == 1)
+            m2_start = e.startCycle;
+    }
+    EXPECT_LT(m2_start, m1_last_start)
+        << "EDF never released the urgent frame";
+}
+
+TEST_F(RealtimeTest, UnscheduledInstancesCountAsMisses)
+{
+    Workload wl("t");
+    dnn::Model m("M");
+    m.addLayer(dnn::makeFullyConnected("a", 64, 64));
+    wl.addModel(std::move(m), 2, 0.0, 100.0);
+    Accelerator acc = miniHda();
+
+    // A partial schedule covering only instance 0.
+    Schedule s(acc.numSubAccs());
+    sched::ScheduledLayer e;
+    e.instanceIdx = 0;
+    e.layerIdx = 0;
+    e.accIdx = 0;
+    e.startCycle = 0.0;
+    e.endCycle = 50.0;
+    s.add(e);
+
+    sched::SlaStats sla = s.computeSla(wl);
+    EXPECT_EQ(sla.frames, 2u);
+    EXPECT_EQ(sla.framesWithDeadline, 2u);
+    // The never-executed frame cannot have made its deadline.
+    EXPECT_EQ(sla.deadlineMisses, 1u);
+    EXPECT_DOUBLE_EQ(sla.missRate, 0.5);
+    ASSERT_EQ(sla.perInstance.size(), 2u);
+    EXPECT_TRUE(sla.perInstance[0].scheduled);
+    EXPECT_FALSE(sla.perInstance[0].missed);
+    EXPECT_FALSE(sla.perInstance[1].scheduled);
+    EXPECT_TRUE(sla.perInstance[1].missed);
+    // Percentiles only cover scheduled frames.
+    EXPECT_DOUBLE_EQ(sla.p99LatencyCycles, 50.0);
+}
+
+TEST_F(RealtimeTest, ContextChangePenaltyStillValidWithArrivals)
+{
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    SchedulerOptions opts;
+    opts.contextChangeCycles = 1e4;
+    Schedule s = HeraldScheduler(model, opts).schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
+}
+
+TEST_F(RealtimeTest, DeadlineAwareIsNoOpWithoutDeadlines)
+{
+    // On a deadline-free workload the EDF tie-break never fires, so
+    // the schedules must be entry-for-entry identical.
+    Workload wl("plain");
+    wl.addModel(dnn::mobileNetV2(), 2);
+    wl.addModel(dnn::brqHandposeNet(), 1);
+    Accelerator acc = miniHda();
+
+    SchedulerOptions fifo;
+    SchedulerOptions edf;
+    edf.deadlineAware = true;
+    Schedule a = HeraldScheduler(model, fifo).schedule(wl, acc);
+    Schedule b = HeraldScheduler(model, edf).schedule(wl, acc);
+    ASSERT_EQ(a.entries().size(), b.entries().size());
+    for (std::size_t i = 0; i < a.entries().size(); ++i) {
+        EXPECT_EQ(a.entries()[i].instanceIdx,
+                  b.entries()[i].instanceIdx);
+        EXPECT_EQ(a.entries()[i].accIdx, b.entries()[i].accIdx);
+        EXPECT_DOUBLE_EQ(a.entries()[i].startCycle,
+                         b.entries()[i].startCycle);
+    }
+}
+
+// ---------------------------------------------------------------
+// SLA metrics
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, SlaStatsOnHandBuiltSchedule)
+{
+    Workload wl("t");
+    dnn::Model m("M");
+    m.addLayer(dnn::makeFullyConnected("a", 64, 64));
+    // Frames arrive at 0 / 100 / 200 / 300, deadline 50 cycles each.
+    wl.addPeriodicModel(std::move(m), 4, 100.0, 50.0);
+    Accelerator acc = miniHda();
+
+    Schedule s(acc.numSubAccs());
+    const double completions[] = {40.0, 160.0, 230.0, 340.0};
+    for (std::size_t i = 0; i < 4; ++i) {
+        sched::ScheduledLayer e;
+        e.instanceIdx = i;
+        e.layerIdx = 0;
+        e.accIdx = 0;
+        e.startCycle = completions[i] - 10.0;
+        e.endCycle = completions[i];
+        s.add(e);
+    }
+
+    sched::SlaStats sla = s.computeSla(wl);
+    EXPECT_EQ(sla.frames, 4u);
+    EXPECT_EQ(sla.framesWithDeadline, 4u);
+    // Latencies: 40, 60, 30, 40. Deadlines at 50/150/250/350:
+    // misses are frames 1 (160 > 150) only.
+    EXPECT_EQ(sla.deadlineMisses, 1u);
+    EXPECT_DOUBLE_EQ(sla.missRate, 0.25);
+    EXPECT_DOUBLE_EQ(sla.maxLatencyCycles, 60.0);
+    // Sorted latencies {30, 40, 40, 60}: p50 = 2nd, p99 = 4th.
+    EXPECT_DOUBLE_EQ(sla.p50LatencyCycles, 40.0);
+    EXPECT_DOUBLE_EQ(sla.p99LatencyCycles, 60.0);
+    ASSERT_EQ(sla.perInstance.size(), 4u);
+    EXPECT_TRUE(sla.perInstance[1].missed);
+    EXPECT_FALSE(sla.perInstance[0].missed);
+    EXPECT_DOUBLE_EQ(sla.perInstance[2].latencyCycles, 30.0);
+}
+
+TEST_F(RealtimeTest, FinalizeEmbedsSlaStats)
+{
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    Schedule s = HeraldScheduler(model).schedule(wl, acc);
+    sched::ScheduleSummary sum =
+        s.finalize(wl, acc, model.energyModel());
+    EXPECT_EQ(sum.sla.frames, wl.numInstances());
+    EXPECT_EQ(sum.sla.framesWithDeadline, wl.numInstances());
+    EXPECT_GT(sum.sla.p50LatencyCycles, 0.0);
+    EXPECT_LE(sum.sla.p50LatencyCycles, sum.sla.p99LatencyCycles);
+    EXPECT_LE(sum.sla.p99LatencyCycles, sum.sla.maxLatencyCycles);
+    // The base overload computes identical non-SLA fields.
+    sched::ScheduleSummary base =
+        s.finalize(acc, model.energyModel());
+    EXPECT_EQ(base.makespanCycles, sum.makespanCycles);
+    EXPECT_EQ(base.energyMj, sum.energyMj);
+    EXPECT_EQ(base.sla.frames, 0u);
+}
+
+// ---------------------------------------------------------------
+// EDF vs. FIFO on the factory scenarios
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, EdfNeverWorseThanFifoOnFactoryScenarios)
+{
+    Accelerator acc = miniHda();
+    for (int frames : {2, 4}) {
+        for (const Workload &wl :
+             {workload::arvrA60fps(frames),
+              workload::mixedTenantScenario(frames)}) {
+            SchedulerOptions fifo;
+            SchedulerOptions edf;
+            edf.deadlineAware = true;
+            Schedule sf =
+                HeraldScheduler(model, fifo).schedule(wl, acc);
+            Schedule se =
+                HeraldScheduler(model, edf).schedule(wl, acc);
+            EXPECT_EQ(sf.validate(wl, acc), "") << wl.name();
+            EXPECT_EQ(se.validate(wl, acc), "") << wl.name();
+            sched::SlaStats f = sf.computeSla(wl);
+            sched::SlaStats e = se.computeSla(wl);
+            EXPECT_LE(e.deadlineMisses, f.deadlineMisses)
+                << wl.name() << " frames=" << frames;
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// DSE integration
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, SlaViolationsObjectivePicksMissArgmin)
+{
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 256;
+    opts.partition.bwGranularity = 4.0;
+    opts.objective = dse::Objective::SlaViolations;
+    opts.scheduler.deadlineAware = true;
+    dse::Herald herald(model, opts);
+    Workload wl = miniRealtime();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    ASSERT_FALSE(result.points.empty());
+    std::size_t best_misses =
+        result.best().summary.sla.deadlineMisses;
+    for (const dse::DsePoint &p : result.points)
+        EXPECT_GE(p.summary.sla.deadlineMisses, best_misses);
+}
+
+TEST_F(RealtimeTest, ExploreReportsSlaAlongsideEdp)
+{
+    // Default (EDP) objective still carries SLA stats in every point.
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 256;
+    opts.partition.bwGranularity = 4.0;
+    dse::Herald herald(model, opts);
+    Workload wl = miniRealtime();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    for (const dse::DsePoint &p : result.points) {
+        EXPECT_EQ(p.summary.sla.frames, wl.numInstances());
+        EXPECT_GT(p.summary.edp(), 0.0);
+    }
+}
+
+TEST_F(RealtimeTest, RealtimeDseDeterministicAcrossThreadCounts)
+{
+    auto run = [&](std::size_t threads) {
+        cost::CostModel fresh;
+        dse::HeraldOptions opts;
+        opts.partition.peGranularity = 128;
+        opts.partition.bwGranularity = 2.0;
+        opts.partition.strategy = dse::SearchStrategy::Binary;
+        opts.objective = dse::Objective::SlaViolations;
+        opts.scheduler.deadlineAware = true;
+        opts.numThreads = threads;
+        dse::Herald herald(fresh, opts);
+        Workload wl = miniRealtime();
+        return herald.explore(
+            wl, accel::edgeClass(),
+            {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    };
+    dse::DseResult serial = run(1);
+    dse::DseResult parallel = run(4);
+    EXPECT_EQ(serial.bestIdx, parallel.bestIdx);
+    ASSERT_EQ(serial.points.size(), parallel.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        const sched::ScheduleSummary &a = serial.points[i].summary;
+        const sched::ScheduleSummary &b = parallel.points[i].summary;
+        EXPECT_EQ(a.makespanCycles, b.makespanCycles) << i;
+        EXPECT_EQ(a.sla.deadlineMisses, b.sla.deadlineMisses) << i;
+        EXPECT_EQ(a.sla.p99LatencyCycles, b.sla.p99LatencyCycles)
+            << i;
+    }
+}
+
+} // namespace

@@ -16,6 +16,7 @@
 #include "dnn/model_zoo.hh"
 #include "sched/herald_scheduler.hh"
 #include "util/logging.hh"
+#include "util/math_utils.hh"
 #include "workload/workload.hh"
 
 namespace
@@ -33,6 +34,7 @@ enum class WorkloadKind
     TwoModels,
     BatchedMix,
     FcHeavy,
+    Periodic,
 };
 
 const char *
@@ -47,6 +49,8 @@ name(WorkloadKind kind)
         return "batched";
       case WorkloadKind::FcHeavy:
         return "fcheavy";
+      case WorkloadKind::Periodic:
+        return "periodic";
     }
     return "?";
 }
@@ -70,6 +74,13 @@ makeWorkload(WorkloadKind kind)
       case WorkloadKind::FcHeavy:
         wl.addModel(dnn::brqHandposeNet(), 2);
         wl.addModel(dnn::gnmt(8), 1);
+        break;
+      case WorkloadKind::Periodic:
+        // Staggered frame streams with deadlines: exercises the
+        // arrival-aware scheduling and post-processing paths.
+        wl.addPeriodicModel(dnn::mobileNetV2(), 3, 5e6);
+        wl.addPeriodicModel(dnn::brqHandposeNet(), 2, 8e6, 4e6);
+        wl.addModel(dnn::mobileNetV1(), 1, 2e6);
         break;
     }
     return wl;
@@ -136,6 +147,7 @@ enum class OptKind
     TightBalance,
     LatencyMetric,
     ContextPenalty,
+    DeadlineAware,
 };
 
 const char *
@@ -154,6 +166,8 @@ name(OptKind kind)
         return "latmetric";
       case OptKind::ContextPenalty:
         return "ctxpenalty";
+      case OptKind::DeadlineAware:
+        return "edf";
     }
     return "?";
 }
@@ -181,6 +195,9 @@ makeOptions(OptKind kind)
         break;
       case OptKind::ContextPenalty:
         opts.contextChangeCycles = 10000.0;
+        break;
+      case OptKind::DeadlineAware:
+        opts.deadlineAware = true;
         break;
     }
     return opts;
@@ -263,17 +280,124 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(WorkloadKind::SingleModel,
                           WorkloadKind::TwoModels,
                           WorkloadKind::BatchedMix,
-                          WorkloadKind::FcHeavy),
+                          WorkloadKind::FcHeavy,
+                          WorkloadKind::Periodic),
         ::testing::Values(AccKind::Fda, AccKind::SmFda, AccKind::Rda,
                           AccKind::Hda2, AccKind::Hda3),
         ::testing::Values(OptKind::Default, OptKind::Greedy,
                           OptKind::DepthFirst, OptKind::TightBalance,
                           OptKind::LatencyMetric,
-                          OptKind::ContextPenalty)),
+                          OptKind::ContextPenalty,
+                          OptKind::DeadlineAware)),
     [](const ::testing::TestParamInfo<SchedParam> &info) {
         return std::string(name(std::get<0>(info.param))) + "_" +
                name(std::get<1>(info.param)) + "_" +
                name(std::get<2>(info.param));
     });
+
+// ---------------------------------------------------------------
+// Randomized post-processing property: idle-time elimination must
+// never introduce dependence, overlap, arrival or memory violations,
+// and must never worsen the makespan, on arbitrary workloads.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+dnn::Model
+randomModel(util::SplitMix64 &rng, int tag)
+{
+    static const std::uint64_t kChannels[] = {16, 32, 64, 128};
+    static const std::uint64_t kSizes[] = {14, 28, 56};
+    static const std::uint64_t kFcDims[] = {128, 256, 1024};
+    dnn::Model model("Rand" + std::to_string(tag));
+    int n_layers = 1 + static_cast<int>(rng.nextBounded(5));
+    for (int l = 0; l < n_layers; ++l) {
+        std::string lname = "l" + std::to_string(l);
+        switch (rng.nextBounded(3)) {
+          case 0:
+            model.addLayer(dnn::makeConv(
+                lname, kChannels[rng.nextBounded(4)],
+                kChannels[rng.nextBounded(4)],
+                kSizes[rng.nextBounded(3)],
+                kSizes[rng.nextBounded(3)], 3, 3));
+            break;
+          case 1:
+            model.addLayer(dnn::makeDepthwise(
+                lname, kChannels[rng.nextBounded(4)],
+                kSizes[rng.nextBounded(3)],
+                kSizes[rng.nextBounded(3)], 3, 3));
+            break;
+          default:
+            model.addLayer(dnn::makeFullyConnected(
+                lname, kFcDims[rng.nextBounded(3)],
+                kFcDims[rng.nextBounded(3)]));
+            break;
+        }
+    }
+    return model;
+}
+
+Workload
+randomWorkload(util::SplitMix64 &rng, int trial)
+{
+    Workload wl("rand" + std::to_string(trial));
+    int n_models = 1 + static_cast<int>(rng.nextBounded(3));
+    for (int m = 0; m < n_models; ++m) {
+        dnn::Model model = randomModel(rng, m);
+        int batches = 1 + static_cast<int>(rng.nextBounded(3));
+        if (rng.nextBounded(2) == 0) {
+            double period =
+                1e5 + static_cast<double>(rng.nextBounded(1000)) *
+                          1e3;
+            wl.addPeriodicModel(std::move(model), batches, period);
+        } else {
+            double arrival = static_cast<double>(
+                rng.nextBounded(4) * 250000);
+            wl.addModel(std::move(model), batches, arrival);
+        }
+    }
+    return wl;
+}
+
+} // namespace
+
+TEST(PostProcessRandomized, NeverIntroducesViolations)
+{
+    util::setVerbose(false);
+    cost::CostModel model;
+    util::SplitMix64 rng(20260726);
+
+    for (int trial = 0; trial < 16; ++trial) {
+        Workload wl = randomWorkload(rng, trial);
+        Accelerator acc = makeAccelerator(static_cast<AccKind>(
+            rng.nextBounded(5)));
+
+        SchedulerOptions opts;
+        opts.deadlineAware = rng.nextBounded(2) == 0;
+        opts.lookaheadDepth =
+            1 + static_cast<int>(rng.nextBounded(6));
+        opts.maxPostPasses =
+            1 + static_cast<int>(rng.nextBounded(8));
+        if (rng.nextBounded(3) == 0)
+            opts.contextChangeCycles = 5000.0;
+        SchedulerOptions no_pp = opts;
+        no_pp.postProcess = false;
+        opts.postProcess = true;
+
+        sched::Schedule with_pp =
+            sched::HeraldScheduler(model, opts).schedule(wl, acc);
+        sched::Schedule without_pp =
+            sched::HeraldScheduler(model, no_pp).schedule(wl, acc);
+
+        EXPECT_EQ(with_pp.validate(wl, acc), "")
+            << "trial " << trial << " on " << acc.name();
+        EXPECT_EQ(without_pp.validate(wl, acc), "")
+            << "trial " << trial << " on " << acc.name();
+        EXPECT_LE(with_pp.makespanCycles(),
+                  without_pp.makespanCycles() + 1e-6)
+            << "trial " << trial;
+    }
+}
 
 } // namespace

@@ -113,6 +113,7 @@ TEST_F(SchedulerTest, ExploitsLayerParallelism)
     Workload wl = miniWorkload();
     Accelerator acc = miniHda();
     Schedule s = scheduler.schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
     double serial = 0.0;
     for (const auto &e : s.entries())
         serial += e.duration();
@@ -125,6 +126,7 @@ TEST_F(SchedulerTest, BothSubAcceleratorsUsed)
     Workload wl = miniWorkload();
     Accelerator acc = miniHda();
     Schedule s = scheduler.schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
     EXPECT_GT(s.busyCycles(0), 0.0);
     EXPECT_GT(s.busyCycles(1), 0.0);
 }
@@ -140,6 +142,7 @@ TEST_F(SchedulerTest, DataflowPreferenceRoutesLayers)
     Workload wl = miniWorkload();
     Accelerator acc = miniHda(); // sub 0: NVDLA, sub 1: ShiDiannao
     Schedule s = scheduler.schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
     for (const auto &e : s.entries()) {
         const dnn::Layer &layer =
             wl.modelOf(e.instanceIdx).layer(e.layerIdx);
@@ -172,6 +175,7 @@ TEST_F(SchedulerTest, BreadthFirstInterleavesModels)
     Workload wl = miniWorkload();
     Accelerator acc = miniHda();
     Schedule s = scheduler.schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
     double first_end_of_inst0 = 0.0;
     double first_start_of_inst3 = 1e300;
     for (const auto &e : s.entries()) {
@@ -199,6 +203,7 @@ TEST_F(SchedulerTest, PostProcessingNeverWorsensMakespan)
     Schedule b = HeraldScheduler(model, without_pp).schedule(wl, acc);
     EXPECT_LE(a.makespanCycles(), b.makespanCycles() + 1e-6);
     EXPECT_EQ(a.validate(wl, acc), "");
+    EXPECT_EQ(b.validate(wl, acc), "");
 }
 
 TEST_F(SchedulerTest, LoadBalanceFactorValidation)
@@ -235,6 +240,7 @@ TEST_F(SchedulerTest, LoadBalancingTightensMakespan)
     Schedule a = HeraldScheduler(model, balanced).schedule(wl, acc);
     Schedule b = HeraldScheduler(model, greedy).schedule(wl, acc);
     EXPECT_EQ(a.validate(wl, acc), "");
+    EXPECT_EQ(b.validate(wl, acc), "");
     EXPECT_LT(a.makespanCycles(), b.makespanCycles());
 }
 
@@ -247,6 +253,8 @@ TEST_F(SchedulerTest, GreedyMatchesHeraldWithFeaturesOff)
     Accelerator acc = miniHda();
     Schedule a = HeraldScheduler(model, off).schedule(wl, acc);
     Schedule b = sched::GreedyScheduler(model).schedule(wl, acc);
+    EXPECT_EQ(a.validate(wl, acc), "");
+    EXPECT_EQ(b.validate(wl, acc), "");
     EXPECT_DOUBLE_EQ(a.makespanCycles(), b.makespanCycles());
 }
 
@@ -262,6 +270,8 @@ TEST_F(SchedulerTest, HeraldBeatsGreedyOnEdp)
 
     Schedule h = HeraldScheduler(model).schedule(wl, acc);
     Schedule g = sched::GreedyScheduler(model).schedule(wl, acc);
+    EXPECT_EQ(h.validate(wl, acc), "");
+    EXPECT_EQ(g.validate(wl, acc), "");
     auto hs = h.finalize(acc, model.energyModel());
     auto gs = g.finalize(acc, model.energyModel());
     EXPECT_LE(hs.edp(), gs.edp() * 1.001);
@@ -282,6 +292,7 @@ TEST_F(SchedulerTest, ContextChangePenaltyExtendsSchedule)
     Schedule b = HeraldScheduler(model, without).schedule(wl, acc);
     EXPECT_GT(a.makespanCycles(), b.makespanCycles());
     EXPECT_EQ(a.validate(wl, acc), "");
+    EXPECT_EQ(b.validate(wl, acc), "");
 }
 
 TEST_F(SchedulerTest, MemoryConstraintRespectedUnderTinyBuffer)
@@ -305,6 +316,7 @@ TEST_F(SchedulerTest, SummaryAggregatesEnergy)
     Workload wl = miniWorkload();
     Accelerator acc = miniHda();
     Schedule s = scheduler.schedule(wl, acc);
+    EXPECT_EQ(s.validate(wl, acc), "");
     auto summary = s.finalize(acc, model.energyModel());
     double dynamic = 0.0;
     for (const auto &e : s.entries())
