@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Scheduler throughput benchmark: layers-scheduled/sec of the
+ * table-driven, event-dispatch scheduler on large periodic
+ * real-time scenarios (default: the ~10k-frame AR/VR-A stream mix),
+ * compared against the pre-table reference implementation
+ * (sched::referenceSchedule), plus an end-to-end DSE
+ * comparison on a small partition sweep. Emits machine-readable JSON
+ * (default BENCH_sched.json) so successive PRs can track the perf
+ * trajectory.
+ *
+ * Usage:
+ *   bench_sched_throughput [--small] [--frames60 N] [--threads N]
+ *                          [--skip-reference] [--max-seconds S]
+ *                          [--out FILE]
+ *
+ * --small           CI-sized scenario (~1k frames) instead of ~10k
+ * --frames60 N      override the 60-FPS frame count directly
+ * --threads N       LayerCostTable prefill worker count (default:
+ *                   HERALD_THREADS, then hardware concurrency)
+ * --skip-reference  skip the slow reference-scheduler timings
+ * --max-seconds S   smoke bound: exit non-zero when one table-path
+ *                   schedule of the big scenario takes longer than S
+ *
+ * The big-scenario timings run with post-processing off so they
+ * isolate dispatch throughput; a smaller postProcess-on measurement
+ * tracks the incremental idle-time-elimination path.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sched/layer_cost_table.hh"
+#include "sched/reference_scheduler.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace herald;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+struct Timing
+{
+    double schedSeconds = 0.0;    //!< table path, per schedule
+    double refSeconds = 0.0;      //!< reference path (0 if skipped)
+    std::size_t layers = 0;
+
+    double
+    layersPerSec() const
+    {
+        return schedSeconds > 0.0
+                   ? static_cast<double>(layers) / schedSeconds
+                   : 0.0;
+    }
+
+    double
+    refLayersPerSec() const
+    {
+        return refSeconds > 0.0
+                   ? static_cast<double>(layers) / refSeconds
+                   : 0.0;
+    }
+
+    double
+    speedup() const
+    {
+        return schedSeconds > 0.0 && refSeconds > 0.0
+                   ? refSeconds / schedSeconds
+                   : 0.0;
+    }
+};
+
+/** Time the table path (median-free: best of @p reps) vs reference. */
+Timing
+timeScheduler(cost::CostModel &model, const workload::Workload &wl,
+              const accel::Accelerator &acc,
+              const sched::SchedulerOptions &opts, int reps,
+              bool run_reference)
+{
+    sched::HeraldScheduler scheduler(model, opts);
+    Timing t;
+    t.layers = wl.totalLayers();
+
+    scheduler.schedule(wl, acc); // warm the cost cache
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        Clock::time_point start = Clock::now();
+        scheduler.schedule(wl, acc);
+        double s = secondsSince(start);
+        if (r == 0 || s < best)
+            best = s;
+    }
+    t.schedSeconds = best;
+
+    if (run_reference) {
+        Clock::time_point start = Clock::now();
+        sched::Schedule ref =
+            sched::referenceSchedule(model, opts, wl, acc);
+        t.refSeconds = secondsSince(start);
+        // Bit-identity spot check rides along for free.
+        sched::Schedule fast = scheduler.schedule(wl, acc);
+        if (!fast.identicalTo(ref))
+            util::panic("table path diverged from reference on ",
+                        wl.name());
+    }
+    return t;
+}
+
+void
+printTiming(const char *label, const Timing &t)
+{
+    if (t.refSeconds > 0.0) {
+        std::printf("%-14s %9.0f layers/s (%.3f s) | reference "
+                    "%9.0f layers/s (%.3f s) | %.1fx\n",
+                    label, t.layersPerSec(), t.schedSeconds,
+                    t.refLayersPerSec(), t.refSeconds, t.speedup());
+    } else {
+        std::printf("%-14s %9.0f layers/s (%.3f s)\n", label,
+                    t.layersPerSec(), t.schedSeconds);
+    }
+}
+
+void
+emitTiming(std::FILE *json, const char *key, const Timing &t,
+           const char *trailer)
+{
+    std::fprintf(json,
+                 "  \"%s\": {\"layers\": %zu, "
+                 "\"sched_seconds\": %.6f, "
+                 "\"layers_per_sec\": %.1f, "
+                 "\"ref_seconds\": %.6f, "
+                 "\"ref_layers_per_sec\": %.1f, "
+                 "\"speedup\": %.3f}%s\n",
+                 key, t.layers, t.schedSeconds, t.layersPerSec(),
+                 t.refSeconds, t.refLayersPerSec(), t.speedup(),
+                 trailer);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::setVerbose(false);
+
+    std::size_t threads = 0;
+    std::string out_path = "BENCH_sched.json";
+    bool small = false;
+    bool run_reference = true;
+    int frames60 = 0;
+    double max_seconds = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--frames60") == 0 &&
+                   i + 1 < argc) {
+            frames60 = static_cast<int>(
+                std::strtol(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--max-seconds") == 0 &&
+                   i + 1 < argc) {
+            max_seconds = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--small") == 0) {
+            small = true;
+        } else if (std::strcmp(argv[i], "--skip-reference") == 0) {
+            run_reference = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--small] [--frames60 N] "
+                         "[--threads N] [--skip-reference] "
+                         "[--max-seconds S] [--out FILE]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    // ~10k frames at full size (frames60 + frames60/2 + frames60/4
+    // instances), ~1k at --small.
+    if (frames60 <= 0)
+        frames60 = small ? 572 : 5712;
+
+    std::FILE *json = std::fopen(out_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+
+    accel::AcceleratorClass chip = accel::edgeClass();
+    accel::Accelerator acc = accel::Accelerator::makeHda(
+        chip,
+        {dataflow::DataflowStyle::NVDLA,
+         dataflow::DataflowStyle::ShiDiannao},
+        {chip.numPes / 2, chip.numPes / 2},
+        {chip.bwGBps / 2, chip.bwGBps / 2});
+
+    workload::Workload wl = workload::arvrA60fps(frames60);
+    std::printf("=== Scheduler throughput: %s, %zu frames, %zu "
+                "layers on %s ===\n",
+                wl.name().c_str(), wl.numInstances(),
+                wl.totalLayers(), acc.name().c_str());
+
+    cost::CostModel model;
+    const int reps = 3;
+
+    // Dispatch throughput (postProcess off isolates the hot loop).
+    sched::SchedulerOptions fifo;
+    fifo.postProcess = false;
+    fifo.prefillThreads = threads;
+    Timing t_fifo =
+        timeScheduler(model, wl, acc, fifo, reps, run_reference);
+    printTiming("FIFO", t_fifo);
+
+    sched::SchedulerOptions edf = fifo;
+    edf.deadlineAware = true;
+    Timing t_edf =
+        timeScheduler(model, wl, acc, edf, reps, run_reference);
+    printTiming("EDF", t_edf);
+
+    // Incremental post-processing trajectory on a smaller stream mix
+    // (postProcess cost is move-dominated, not dispatch-dominated).
+    workload::Workload wl_pp =
+        workload::arvrA60fps(std::min(frames60, 64));
+    sched::SchedulerOptions pp;
+    pp.deadlineAware = true;
+    pp.prefillThreads = threads;
+    Timing t_pp =
+        timeScheduler(model, wl_pp, acc, pp, reps, run_reference);
+    printTiming("EDF+postproc", t_pp);
+
+    // End-to-end DSE: the same candidate grid through the table-path
+    // explore vs a manual reference-scheduler sweep.
+    workload::Workload dse_wl =
+        workload::mixedTenantScenario(small ? 1 : 2);
+    dse::HeraldOptions dse_opts;
+    dse_opts.partition.peGranularity = chip.numPes / 4;
+    dse_opts.partition.bwGranularity = chip.bwGBps / 4;
+    dse_opts.objective = dse::Objective::SlaViolations;
+    dse_opts.scheduler.deadlineAware = true;
+    dse_opts.numThreads = 1; // scheduler-only comparison
+    std::vector<dataflow::DataflowStyle> styles = {
+        dataflow::DataflowStyle::NVDLA,
+        dataflow::DataflowStyle::ShiDiannao};
+
+    double dse_seconds = 0.0;
+    double dse_ref_seconds = 0.0;
+    std::size_t dse_candidates = 0;
+    {
+        cost::CostModel dse_model;
+        dse::Herald herald(dse_model, dse_opts);
+        Clock::time_point start = Clock::now();
+        dse::DseResult result =
+            herald.explore(dse_wl, chip, styles);
+        dse_seconds = secondsSince(start);
+        dse_candidates = result.points.size();
+    }
+    if (run_reference) {
+        cost::CostModel ref_model;
+        std::vector<dse::PartitionCandidate> cands =
+            dse::generateCandidates(chip.numPes, chip.bwGBps,
+                                    styles.size(),
+                                    dse_opts.partition);
+        Clock::time_point start = Clock::now();
+        for (const dse::PartitionCandidate &c : cands) {
+            accel::Accelerator cand_acc =
+                accel::Accelerator::makeHda(chip, styles, c.peSplit,
+                                            c.bwSplit);
+            sched::Schedule s = sched::referenceSchedule(
+                ref_model, dse_opts.scheduler, dse_wl, cand_acc);
+            s.finalize(dse_wl, cand_acc, ref_model.energyModel());
+        }
+        dse_ref_seconds = secondsSince(start);
+    }
+    double dse_speedup = dse_seconds > 0.0 && dse_ref_seconds > 0.0
+                             ? dse_ref_seconds / dse_seconds
+                             : 0.0;
+    std::printf("DSE sweep:     %zu candidates in %.3f s",
+                dse_candidates, dse_seconds);
+    if (dse_ref_seconds > 0.0)
+        std::printf(" | reference %.3f s | %.2fx", dse_ref_seconds,
+                    dse_speedup);
+    std::printf("\n");
+
+    const double slowest_sched =
+        std::max({t_fifo.schedSeconds, t_edf.schedSeconds,
+                  t_pp.schedSeconds});
+    bool within_bound =
+        max_seconds <= 0.0 || slowest_sched <= max_seconds;
+
+    std::fprintf(json,
+                 "{\n"
+                 "  \"workload\": \"%s\",\n"
+                 "  \"grid\": \"%s\",\n"
+                 "  \"frames60\": %d,\n"
+                 "  \"instances\": %zu,\n"
+                 "  \"total_layers\": %zu,\n",
+                 wl.name().c_str(), small ? "small" : "full",
+                 frames60, wl.numInstances(), wl.totalLayers());
+    emitTiming(json, "fifo", t_fifo, ",");
+    emitTiming(json, "edf", t_edf, ",");
+    emitTiming(json, "edf_postprocess", t_pp, ",");
+    std::fprintf(json,
+                 "  \"dse_candidates\": %zu,\n"
+                 "  \"dse_seconds\": %.6f,\n"
+                 "  \"dse_ref_seconds\": %.6f,\n"
+                 "  \"dse_speedup\": %.3f,\n"
+                 "  \"max_seconds\": %.3f,\n"
+                 "  \"within_bound\": %s\n"
+                 "}\n",
+                 dse_candidates, dse_seconds, dse_ref_seconds,
+                 dse_speedup, max_seconds,
+                 within_bound ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!within_bound) {
+        std::fprintf(stderr,
+                     "SMOKE FAILURE: slowest schedule variant took "
+                     "%.3f s (bound %.3f s)\n",
+                     slowest_sched, max_seconds);
+        return 1;
+    }
+    return 0;
+}

@@ -39,9 +39,15 @@ evaluateOnSubAcc(cost::CostModel &model, const Accelerator &acc,
                  std::size_t sub_idx, const dnn::Layer &layer,
                  const RdaOverheads &rda)
 {
-    const SubAccelerator &sub = acc.subAccs().at(sub_idx);
-    const cost::SubAccResources res = acc.resources(sub_idx);
+    return evaluateOnSub(model, acc.subAccs().at(sub_idx),
+                         acc.resources(sub_idx), layer, rda);
+}
 
+StyledLayerCost
+evaluateOnSub(cost::CostModel &model, const SubAccelerator &sub,
+              const cost::SubAccResources &res,
+              const dnn::Layer &layer, const RdaOverheads &rda)
+{
     if (!sub.flexible) {
         return StyledLayerCost{sub.style,
                                model.evaluate(layer, sub.style, res)};

@@ -55,6 +55,19 @@ StyledLayerCost evaluateOnSubAcc(cost::CostModel &model,
                                  const RdaOverheads &rda =
                                      RdaOverheads{});
 
+/**
+ * Same evaluation with the sub-accelerator descriptor and its
+ * resource view already resolved — lets bulk callers (the scheduler's
+ * LayerCostTable prefill) hoist the per-sub-accelerator resource
+ * computation out of their (layer x sub-acc) loop.
+ */
+StyledLayerCost evaluateOnSub(cost::CostModel &model,
+                              const SubAccelerator &sub,
+                              const cost::SubAccResources &res,
+                              const dnn::Layer &layer,
+                              const RdaOverheads &rda =
+                                  RdaOverheads{});
+
 } // namespace herald::accel
 
 #endif // HERALD_ACCEL_RDA_HH

@@ -173,6 +173,14 @@ struct CostCacheKeyHash
  * under that key — the DSE issues millions of queries for repeated
  * layers (batches, repeated blocks).
  *
+ * Caching is two-tier: this cache is the cross-candidate tier (keyed
+ * on the full tuple, shared by every schedule the DSE builds), while
+ * each schedule() run additionally front-loads its queries into a
+ * dense sched::LayerCostTable so the scheduling loop itself performs
+ * no hashing and takes no shard mutex — evaluate() is only reached
+ * during table prefill, once per unique (layer, style, resources)
+ * tuple per candidate.
+ *
  * Thread safety: evaluate() may be called concurrently from any
  * number of threads. The cache is split into kCacheShards shards,
  * each guarded by its own mutex, and hits/misses return the LayerCost

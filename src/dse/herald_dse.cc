@@ -1,10 +1,11 @@
 #include "dse/herald_dse.hh"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
-#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -18,24 +19,57 @@ namespace
 /**
  * Canonical key of a partition candidate for duplicate detection.
  * Bandwidth shares are quantized to 2^-20 GB/s so grid points that
- * differ only by floating-point noise collapse to one key.
+ * differ only by floating-point noise collapse to one key. A plain
+ * struct of the quantized integers — no string building, so the
+ * Binary refinement round's dedup does not allocate per candidate
+ * beyond the key's split storage.
  */
-std::string
+struct CandidateKey
+{
+    std::vector<std::uint64_t> pe;
+    std::vector<std::int64_t> bwQ;
+
+    bool
+    operator==(const CandidateKey &o) const
+    {
+        return pe == o.pe && bwQ == o.bwQ;
+    }
+};
+
+CandidateKey
 candidateKey(const PartitionCandidate &cand)
 {
-    std::string key;
-    for (std::uint64_t pe : cand.peSplit) {
-        key += std::to_string(pe);
-        key += ',';
-    }
-    key += '|';
+    CandidateKey key;
+    key.pe = cand.peSplit;
+    key.bwQ.reserve(cand.bwSplit.size());
     for (double bw : cand.bwSplit) {
-        key += std::to_string(
+        key.bwQ.push_back(
             std::llround(bw * static_cast<double>(1 << 20)));
-        key += ',';
     }
     return key;
 }
+
+struct CandidateKeyHash
+{
+    std::size_t
+    operator()(const CandidateKey &key) const
+    {
+        // splitmix64-style mixing over every element.
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL *
+                          (key.pe.size() + 1);
+        auto mix = [&h](std::uint64_t v) {
+            v += 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+            v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+            h ^= v ^ (v >> 31);
+        };
+        for (std::uint64_t pe : key.pe)
+            mix(pe);
+        for (std::int64_t bw : key.bwQ)
+            mix(static_cast<std::uint64_t>(bw));
+        return static_cast<std::size_t>(h);
+    }
+};
 
 } // namespace
 
@@ -96,7 +130,19 @@ DsePoint
 Herald::evaluate(const workload::Workload &wl,
                  const accel::Accelerator &acc) const
 {
-    sched::HeraldScheduler scheduler(costModel, opts.scheduler);
+    return evaluateImpl(wl, acc, opts.scheduler.prefillThreads);
+}
+
+DsePoint
+Herald::evaluateImpl(const workload::Workload &wl,
+                     const accel::Accelerator &acc,
+                     std::size_t prefill_threads) const
+{
+    // One LayerCostTable per candidate: built once (unique layers x
+    // sub-accs), reused across every scheduled layer of the run.
+    sched::SchedulerOptions sched_opts = opts.scheduler;
+    sched_opts.prefillThreads = prefill_threads;
+    sched::HeraldScheduler scheduler(costModel, sched_opts);
     sched::Schedule schedule = scheduler.schedule(wl, acc);
     DsePoint point{acc, schedule.finalize(wl, acc,
                                           costModel.energyModel(),
@@ -134,13 +180,24 @@ Herald::explore(const workload::Workload &wl,
         [&](const std::vector<PartitionCandidate> &candidates) {
             std::vector<std::optional<DsePoint>> slots(
                 candidates.size());
+            // When candidates fan out across the sweep pool, each
+            // one builds its LayerCostTable serially — nesting a
+            // prefill pool would only oversubscribe the machine. On
+            // the serial branch (no pool, or a single candidate,
+            // e.g. a degenerate Binary refinement batch) the prefill
+            // gets the full thread budget instead; either way the
+            // results are bit-identical.
+            const bool sweep_parallel =
+                pool && candidates.size() > 1;
+            const std::size_t prefill_threads =
+                sweep_parallel ? 1 : n_threads;
             auto eval_one = [&](std::size_t i) {
                 accel::Accelerator acc = accel::Accelerator::makeHda(
                     chip, styles, candidates[i].peSplit,
                     candidates[i].bwSplit);
-                slots[i] = evaluate(wl, acc);
+                slots[i] = evaluateImpl(wl, acc, prefill_threads);
             };
-            if (pool && candidates.size() > 1) {
+            if (sweep_parallel) {
                 pool->parallelFor(0, candidates.size(), eval_one);
             } else {
                 for (std::size_t i = 0; i < candidates.size(); ++i)
@@ -174,7 +231,7 @@ Herald::explore(const workload::Workload &wl,
         // coarse grid (including its own center). Filtering keeps
         // the surviving candidates in refineAround's order, so the
         // sweep stays bit-identical across thread counts.
-        std::unordered_set<std::string> seen;
+        std::unordered_set<CandidateKey, CandidateKeyHash> seen;
         for (const PartitionCandidate &c : candidates)
             seen.insert(candidateKey(c));
         std::vector<PartitionCandidate> refined = refineAround(

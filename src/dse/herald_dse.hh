@@ -127,6 +127,16 @@ class Herald
     HeraldOptions opts;
 
     double objectiveValue(const sched::ScheduleSummary &summary) const;
+
+    /**
+     * evaluate() with an explicit LayerCostTable prefill width — the
+     * partition sweep forces the serial prefill on its workers while
+     * the public single-candidate entry point keeps the configured
+     * fan-out.
+     */
+    DsePoint evaluateImpl(const workload::Workload &wl,
+                          const accel::Accelerator &acc,
+                          std::size_t prefill_threads) const;
 };
 
 } // namespace herald::dse

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <set>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "sched/layer_cost_table.hh"
 #include "sched/memory_tracker.hh"
 #include "util/logging.hh"
 
@@ -16,35 +21,7 @@ namespace
 
 constexpr double kEps = 1e-6;
 
-double
-metricValue(Metric metric, const cost::LayerCost &cost)
-{
-    switch (metric) {
-      case Metric::Edp:
-        return cost.edp();
-      case Metric::Latency:
-        return cost.cycles;
-      case Metric::Energy:
-        return cost.energyUnits;
-    }
-    util::panic("unknown Metric");
-}
-
 } // namespace
-
-const char *
-toString(Metric metric)
-{
-    switch (metric) {
-      case Metric::Edp:
-        return "EDP";
-      case Metric::Latency:
-        return "latency";
-      case Metric::Energy:
-        return "energy";
-    }
-    util::panic("unknown Metric");
-}
 
 const char *
 toString(Ordering ordering)
@@ -72,132 +49,248 @@ Schedule
 HeraldScheduler::schedule(const workload::Workload &wl,
                           const accel::Accelerator &acc) const
 {
+    if (wl.numInstances() == 0)
+        return Schedule(acc.numSubAccs());
+    LayerCostTable table =
+        LayerCostTable::build(costModel, wl, acc, opts.metric,
+                              opts.rdaOverheads, opts.prefillThreads);
+    return schedule(wl, acc, table);
+}
+
+Schedule
+HeraldScheduler::schedule(const workload::Workload &wl,
+                          const accel::Accelerator &acc,
+                          const LayerCostTable &table) const
+{
     const std::size_t n_inst = wl.numInstances();
     const std::size_t n_acc = acc.numSubAccs();
     Schedule schedule(n_acc);
     if (n_inst == 0)
         return schedule;
 
+    const std::vector<workload::Instance> &instances = wl.instances();
+    const std::size_t total_layers = wl.totalLayers();
+    schedule.reserve(total_layers);
+    const bool edf = opts.deadlineAware;
+    const bool breadth = opts.ordering == Ordering::BreadthFirst;
+
+    // Per-instance state, hoisted out of the loop once.
     std::vector<std::size_t> next_layer(n_inst, 0);
+    std::vector<std::size_t> layers_of(n_inst);
+    std::vector<std::size_t> row_base(n_inst); //!< table row of layer 0
     // A layer chain becomes ready at its instance's arrival, not at
     // cycle 0 — real-time scenarios stagger frames this way.
-    std::vector<double> ready_time(n_inst, 0.0);
-    for (std::size_t i = 0; i < n_inst; ++i)
-        ready_time[i] = wl.instances()[i].arrivalCycle;
+    std::vector<double> ready_time(n_inst);
+    for (std::size_t i = 0; i < n_inst; ++i) {
+        layers_of[i] = wl.modelOf(i).numLayers();
+        row_base[i] = table.rowOf(wl.uniqueIdOfInstance(i), 0);
+        ready_time[i] = instances[i].arrivalCycle;
+    }
+
     std::vector<double> acc_avail(n_acc, 0.0);
     std::vector<std::size_t> acc_last_instance(n_acc, SIZE_MAX);
     MemoryTracker memory(acc.globalBufferBytes());
+    memory.reserve(total_layers);
 
-    std::size_t remaining = wl.totalLayers();
+    // --- Event-driven instance release ---
+    // The release clock (release_frontier) is the latest committed
+    // end cycle; an instance competes for dispatch only once its
+    // arrival is inside the committed horizon. Instead of re-testing
+    // every instance per scheduled layer, instances sit in an
+    // arrival-sorted vector swept by a cursor: each is released
+    // exactly once, into an ordered ready set the selection rules
+    // read in O(log n).
+    std::vector<std::size_t> arrival_sorted(n_inst);
+    std::iota(arrival_sorted.begin(), arrival_sorted.end(), 0);
+    std::sort(arrival_sorted.begin(), arrival_sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (instances[a].arrivalCycle !=
+                      instances[b].arrivalCycle)
+                      return instances[a].arrivalCycle <
+                             instances[b].arrivalCycle;
+                  return a < b;
+              });
+    std::size_t cursor = 0;
+    // Released instances with pending layers: by index for FIFO, by
+    // (deadline, index) for EDF.
+    std::set<std::size_t> ready_fifo;
+    std::set<std::pair<double, std::size_t>> ready_edf;
+
+    std::size_t remaining = total_layers;
     std::size_t rotate = 0; // breadth-first round-robin cursor
-    // Release clock: the latest end cycle committed so far. An
-    // instance competes for dispatch only once its arrival is inside
-    // the committed horizon — a monotone notion of "now" that an
-    // idle sub-accelerator cannot pin at zero.
     double release_frontier = 0.0;
 
-    while (remaining > 0) {
-        // --- Layer ordering heuristic: pick the next instance ---
-        // Candidates are visited in the base ordering's preference
-        // (round-robin from the rotate cursor, or instance order).
-        // Only instances that have arrived by the release frontier
-        // compete — otherwise the greedy pass would reserve slots at
-        // future arrivals and serialize already-arrived work behind
-        // frames that do not exist yet. Without deadlineAware the
-        // first released candidate wins; with it, the released
-        // candidate with the nearest absolute deadline wins and the
-        // base order breaks ties — so the two policies coincide on
-        // deadline-free workloads.
-        auto pending = [&](std::size_t cand) {
-            return next_layer[cand] < wl.modelOf(cand).numLayers();
-        };
-        auto base_order = [&](std::size_t k) {
-            return opts.ordering == Ordering::BreadthFirst
-                       ? (rotate + k) % n_inst
-                       : k;
-        };
+    auto pending = [&](std::size_t idx) {
+        return next_layer[idx] < layers_of[idx];
+    };
+    auto release_up_to = [&](double frontier) {
+        while (cursor < n_inst) {
+            std::size_t idx = arrival_sorted[cursor];
+            if (instances[idx].arrivalCycle > frontier + kEps)
+                break;
+            ++cursor;
+            if (pending(idx)) {
+                if (edf)
+                    ready_edf.emplace(instances[idx].deadlineCycle,
+                                      idx);
+                else
+                    ready_fifo.insert(idx);
+            }
+        }
+    };
+
+    // Pick from the released set: FIFO takes the first pending
+    // instance in the base order (round-robin from the rotate cursor,
+    // or instance order); EDF takes the nearest absolute deadline
+    // with the base order breaking ties. Identical outcomes to the
+    // reference scan, found by ordered-set lookup.
+    auto select_ready = [&]() -> std::size_t {
+        if (edf) {
+            if (ready_edf.empty())
+                return SIZE_MAX;
+            auto first = ready_edf.begin();
+            if (breadth) {
+                auto it = ready_edf.lower_bound(
+                    std::make_pair(first->first, rotate));
+                if (it != ready_edf.end() &&
+                    it->first == first->first)
+                    return it->second;
+            }
+            return first->second;
+        }
+        if (ready_fifo.empty())
+            return SIZE_MAX;
+        if (breadth) {
+            auto it = ready_fifo.lower_bound(rotate);
+            if (it != ready_fifo.end())
+                return *it;
+        }
+        return *ready_fifo.begin();
+    };
+
+    // Nothing-has-arrived fallback, slow path: the reference
+    // implementation's epsilon-tolerant scan over the pending
+    // futures in base order. Only taken when arrivals are distinct
+    // yet closer than kEps — floating-point pathology, not a real
+    // schedule shape — so the index-ordered view is built on demand
+    // instead of being maintained across the whole run.
+    auto scan_future_base_order = [&]() -> std::size_t {
+        std::vector<std::size_t> pending_future;
+        pending_future.reserve(n_inst - cursor);
+        for (std::size_t j = cursor; j < n_inst; ++j) {
+            if (pending(arrival_sorted[j]))
+                pending_future.push_back(arrival_sorted[j]);
+        }
+        std::sort(pending_future.begin(), pending_future.end());
 
         std::size_t inst = SIZE_MAX;
+        double best_arrival = workload::kNoDeadline;
         double best_deadline = workload::kNoDeadline;
-        for (std::size_t k = 0; k < n_inst; ++k) {
-            std::size_t cand = base_order(k);
-            if (!pending(cand))
-                continue;
-            if (wl.instances()[cand].arrivalCycle >
-                release_frontier + kEps)
-                continue; // not yet arrived
-            if (inst == SIZE_MAX) {
+        auto consider = [&](std::size_t cand) {
+            const workload::Instance &ci = instances[cand];
+            bool better =
+                inst == SIZE_MAX ||
+                ci.arrivalCycle < best_arrival - kEps ||
+                (edf &&
+                 std::abs(ci.arrivalCycle - best_arrival) <= kEps &&
+                 ci.deadlineCycle < best_deadline);
+            if (better) {
                 inst = cand;
-                best_deadline =
-                    wl.instances()[cand].deadlineCycle;
-                if (!opts.deadlineAware)
-                    break;
+                best_arrival = ci.arrivalCycle;
+                best_deadline = ci.deadlineCycle;
+            }
+        };
+        auto split = std::lower_bound(pending_future.begin(),
+                                      pending_future.end(),
+                                      breadth ? rotate : 0);
+        for (auto it = split; it != pending_future.end(); ++it)
+            consider(*it);
+        for (auto it = pending_future.begin(); it != split; ++it)
+            consider(*it);
+        return inst;
+    };
+
+    // Nothing-has-arrived fallback: dispatch the nearest future
+    // arrival (EDF breaks equal-arrival ties when enabled). The
+    // arrival-sorted cursor hands us the earliest band directly;
+    // exact-equal arrivals (periodic streams share harmonics) keep
+    // the closed-form winner, and only sub-epsilon near-ties fall
+    // back to the reference scan.
+    auto select_future = [&]() -> std::size_t {
+        std::size_t scan = cursor;
+        while (scan < n_inst && !pending(arrival_sorted[scan]))
+            ++scan;
+        if (scan == n_inst)
+            return SIZE_MAX;
+        const double m = instances[arrival_sorted[scan]].arrivalCycle;
+        std::vector<std::size_t> run; // exact-equal band, idx order
+        bool near_tie = false;
+        for (std::size_t j = scan; j < n_inst; ++j) {
+            std::size_t idx = arrival_sorted[j];
+            if (!pending(idx))
+                continue;
+            double a = instances[idx].arrivalCycle;
+            if (a == m) {
+                run.push_back(idx);
                 continue;
             }
-            double deadline = wl.instances()[cand].deadlineCycle;
-            if (deadline < best_deadline) {
-                inst = cand;
+            near_tie = a <= m + kEps;
+            break;
+        }
+        if (near_tie)
+            return scan_future_base_order();
+        // Rotated visit order over the ascending run.
+        std::size_t start_pos = 0;
+        if (breadth) {
+            start_pos = static_cast<std::size_t>(
+                std::lower_bound(run.begin(), run.end(), rotate) -
+                run.begin());
+            if (start_pos == run.size())
+                start_pos = 0;
+        }
+        if (!edf)
+            return run[start_pos];
+        std::size_t best = SIZE_MAX;
+        double best_deadline = workload::kNoDeadline;
+        for (std::size_t k = 0; k < run.size(); ++k) {
+            std::size_t cand = run[(start_pos + k) % run.size()];
+            double deadline = instances[cand].deadlineCycle;
+            if (best == SIZE_MAX || deadline < best_deadline) {
+                best = cand;
                 best_deadline = deadline;
             }
         }
-        if (inst == SIZE_MAX) {
-            // Nothing has arrived yet: dispatch the nearest future
-            // arrival (EDF breaks equal-arrival ties when enabled).
-            double best_arrival = workload::kNoDeadline;
-            for (std::size_t k = 0; k < n_inst; ++k) {
-                std::size_t cand = base_order(k);
-                if (!pending(cand))
-                    continue;
-                const workload::Instance &ci =
-                    wl.instances()[cand];
-                bool better =
-                    inst == SIZE_MAX ||
-                    ci.arrivalCycle < best_arrival - kEps ||
-                    (opts.deadlineAware &&
-                     std::abs(ci.arrivalCycle - best_arrival) <=
-                         kEps &&
-                     ci.deadlineCycle < best_deadline);
-                if (better) {
-                    inst = cand;
-                    best_arrival = ci.arrivalCycle;
-                    best_deadline = ci.deadlineCycle;
-                }
-            }
-        }
+        return best;
+    };
+
+    release_up_to(release_frontier);
+
+    while (remaining > 0) {
+        // --- Layer ordering heuristic: pick the next instance ---
+        std::size_t inst = select_ready();
+        if (inst == SIZE_MAX)
+            inst = select_future();
         if (inst == SIZE_MAX)
             util::panic("scheduler: no instance with pending layers");
 
-        const dnn::Layer &layer =
-            wl.modelOf(inst).layer(next_layer[inst]);
-
-        // --- Dataflow-preference-based assignment ---
-        std::vector<accel::StyledLayerCost> costs(n_acc);
-        std::vector<double> metric_of(n_acc);
-        std::vector<std::size_t> order(n_acc);
-        for (std::size_t a = 0; a < n_acc; ++a) {
-            costs[a] = accel::evaluateOnSubAcc(costModel, acc, a,
-                                               layer,
-                                               opts.rdaOverheads);
-            metric_of[a] = metricValue(opts.metric, costs[a].cost);
-            order[a] = a;
-        }
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return metric_of[a] < metric_of[b];
-                  });
+        const std::size_t layer_idx = next_layer[inst];
+        const std::size_t row = row_base[inst] + layer_idx;
+        const std::size_t *order = table.order(row);
 
         // --- Load-balancing feedback: demote overloading choices ---
         std::size_t chosen = order[0];
         if (opts.loadBalance && n_acc > 1) {
-            const double best_metric = metric_of[order[0]];
-            for (std::size_t a : order) {
-                if (metric_of[a] >
+            const double best_metric = table.metric(row, order[0]);
+            for (std::size_t k = 0; k < n_acc; ++k) {
+                std::size_t a = order[k];
+                if (table.metric(row, a) >
                     best_metric * opts.loadBalanceMaxDegradation) {
                     break; // remaining candidates are worse still
                 }
                 double start =
                     std::max(ready_time[inst], acc_avail[a]);
-                double frontier = start + costs[a].cost.cycles;
+                double frontier =
+                    start + table.cost(row, a).cost.cycles;
                 double max_f = frontier;
                 double min_f = frontier;
                 for (std::size_t b = 0; b < n_acc; ++b) {
@@ -215,7 +308,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         }
 
         // --- Dependence + memory constrained start time ---
-        const accel::StyledLayerCost &sc = costs[chosen];
+        const accel::StyledLayerCost &sc = table.cost(row, chosen);
         double dur = sc.cost.cycles;
         if (opts.contextChangeCycles > 0.0 &&
             acc_last_instance[chosen] != SIZE_MAX &&
@@ -232,7 +325,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 
         ScheduledLayer entry;
         entry.instanceIdx = inst;
-        entry.layerIdx = next_layer[inst];
+        entry.layerIdx = layer_idx;
         entry.accIdx = chosen;
         entry.style = sc.style;
         entry.startCycle = start;
@@ -249,6 +342,19 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         ++next_layer[inst];
         --remaining;
         rotate = (inst + 1) % n_inst;
+
+        if (!pending(inst)) {
+            // Exhausted: drop it from the ready set. (A one-layer
+            // model exhausted by the fallback before its release was
+            // never inserted; pending() checks keep the release
+            // sweep and fallback scans from resurrecting it.)
+            if (edf)
+                ready_edf.erase(std::make_pair(
+                    instances[inst].deadlineCycle, inst));
+            else
+                ready_fifo.erase(inst);
+        }
+        release_up_to(release_frontier);
     }
 
     if (opts.postProcess)
@@ -284,6 +390,7 @@ buildTracker(const std::vector<ScheduledLayer> &entries,
              std::uint64_t capacity)
 {
     MemoryTracker tracker(capacity);
+    tracker.reserve(entries.size());
     for (const ScheduledLayer &e : entries) {
         tracker.add(e.startCycle, e.duration(),
                     static_cast<double>(e.l2FootprintBytes));
@@ -320,23 +427,29 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                               entries[it->second].endCycle);
     };
 
+    // Tracker and per-sub-accelerator time order are built once and
+    // maintained incrementally: both passes only retime entries, and
+    // every retime updates the tracker (move) and the order (splice)
+    // in place, so no per-pass rebuild or re-sort is needed. Entry
+    // start times on one sub-accelerator are strictly increasing
+    // (positive durations, no overlap), so the maintained order is
+    // the unique sorted order the per-pass sort would recompute.
+    MemoryTracker tracker =
+        buildTracker(entries, acc.globalBufferBytes());
+    std::vector<std::vector<std::size_t>> per_acc(
+        schedule.numSubAccs());
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        per_acc[entries[i].accIdx].push_back(i);
+    for (auto &vec : per_acc) {
+        std::sort(vec.begin(), vec.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return entries[a].startCycle <
+                             entries[b].startCycle;
+                  });
+    }
+
     for (int pass = 0; pass < opts.maxPostPasses; ++pass) {
         bool changed = false;
-        MemoryTracker tracker =
-            buildTracker(entries, acc.globalBufferBytes());
-
-        // Per-sub-accelerator time order.
-        std::vector<std::vector<std::size_t>> per_acc(
-            schedule.numSubAccs());
-        for (std::size_t i = 0; i < entries.size(); ++i)
-            per_acc[entries[i].accIdx].push_back(i);
-        for (auto &vec : per_acc) {
-            std::sort(vec.begin(), vec.end(),
-                      [&](std::size_t a, std::size_t b) {
-                          return entries[a].startCycle <
-                                 entries[b].startCycle;
-                      });
-        }
 
         // Pull pass: shift entries earlier preserving order.
         for (auto &vec : per_acc) {
@@ -362,8 +475,9 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
 
         // Gap-fill pass (Fig. 9): move a later layer into an idle gap
         // within the look-ahead window. After every move the acc's
-        // time order is re-established before continuing — gaps are
-        // only meaningful on a sorted timeline.
+        // time order is re-established (a splice of the moved entry
+        // to its new position) before continuing — gaps are only
+        // meaningful on a sorted timeline.
         for (auto &vec : per_acc) {
             bool moved = true;
             int guard = 0;
@@ -371,11 +485,6 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                 static_cast<int>(vec.size()) + 8;
             while (moved && guard++ < max_moves) {
                 moved = false;
-                std::sort(vec.begin(), vec.end(),
-                          [&](std::size_t a, std::size_t b) {
-                              return entries[a].startCycle <
-                                     entries[b].startCycle;
-                          });
                 // Gaps include the leading idle window before the
                 // sub-accelerator's first entry (pos == 0) — with
                 // staggered arrivals a frame pinned at its arrival
@@ -415,6 +524,14 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                         tracker.move(vec[j], earliest);
                         cand.startCycle = earliest;
                         cand.endCycle = earliest + dur;
+                        // Splice vec[j] into its new slot at pos.
+                        std::rotate(
+                            vec.begin() +
+                                static_cast<std::ptrdiff_t>(pos),
+                            vec.begin() +
+                                static_cast<std::ptrdiff_t>(j),
+                            vec.begin() +
+                                static_cast<std::ptrdiff_t>(j + 1));
                         changed = true;
                         moved = true;
                         break;

@@ -15,6 +15,18 @@
  * with a bounded look-ahead reorders later layers into idle gaps
  * (Fig. 9). Both passes only ever move entries earlier, so the
  * makespan is non-increasing and the loop terminates.
+ *
+ * Throughput architecture: schedule() first builds a LayerCostTable
+ * (every unique (layer, sub-acc) cost evaluated once, optionally
+ * prefilled across a ThreadPool) and then runs an event-driven
+ * dispatch loop — instances are released from an arrival-sorted
+ * cursor into ordered ready sets, so picking the next instance is
+ * O(log n) instead of an O(n_instances) scan per layer, and the loop
+ * body is allocation- and lock-free. The original per-layer-query
+ * O(L x N) implementation survives as a test/bench-only verification
+ * oracle (sched/reference_scheduler.hh, outside libherald): both
+ * paths produce bit-identical schedules (asserted by
+ * tests/test_sched_equivalence.cc).
  */
 
 #ifndef HERALD_SCHED_HERALD_SCHEDULER_HH
@@ -22,21 +34,14 @@
 
 #include "accel/rda.hh"
 #include "cost/cost_model.hh"
+#include "sched/metric.hh"
 #include "sched/schedule.hh"
 #include "workload/workload.hh"
 
 namespace herald::sched
 {
 
-/** Which per-layer cost the assignment greedily minimizes. */
-enum class Metric
-{
-    Edp,
-    Latency,
-    Energy,
-};
-
-const char *toString(Metric metric);
+class LayerCostTable;
 
 /** Initial layer ordering heuristic (Sec. IV-D). */
 enum class Ordering
@@ -97,6 +102,16 @@ struct SchedulerOptions
 
     /** Overheads applied to flexible (RDA) sub-accelerators. */
     accel::RdaOverheads rdaOverheads{};
+
+    /**
+     * Worker threads for the LayerCostTable prefill: 1 forces the
+     * serial path (the DSE uses this inside its own worker pool), 0
+     * resolves via HERALD_THREADS then hardware concurrency. The
+     * pool only spins up on tables with at least
+     * LayerCostTable::kMinParallelEvals entries; results are
+     * bit-identical for every thread count.
+     */
+    std::size_t prefillThreads = 0;
 };
 
 /** The Herald scheduler. */
@@ -106,9 +121,22 @@ class HeraldScheduler
     HeraldScheduler(cost::CostModel &model,
                     SchedulerOptions options = SchedulerOptions{});
 
-    /** Build a schedule for @p wl on @p acc. */
+    /**
+     * Build a schedule for @p wl on @p acc. Builds a LayerCostTable
+     * for the (workload, accelerator) pair first (see
+     * SchedulerOptions::prefillThreads) and dispatches from it.
+     */
     Schedule schedule(const workload::Workload &wl,
                       const accel::Accelerator &acc) const;
+
+    /**
+     * Same, reusing a prebuilt @p table (must have been built for
+     * this @p wl / @p acc pair with the same metric and RDA
+     * overheads).
+     */
+    Schedule schedule(const workload::Workload &wl,
+                      const accel::Accelerator &acc,
+                      const LayerCostTable &table) const;
 
     const SchedulerOptions &options() const { return opts; }
 
@@ -116,7 +144,12 @@ class HeraldScheduler
     cost::CostModel &costModel;
     SchedulerOptions opts;
 
-    /** Idle-time elimination (Fig. 9): pull + gap-fill sweeps. */
+    /**
+     * Idle-time elimination (Fig. 9): pull + gap-fill sweeps.
+     * Incremental: one MemoryTracker and one per-sub-accelerator
+     * sorted order are maintained across passes and across gap-fill
+     * moves (a sorted-order splice replaces the per-move re-sort).
+     */
     void postProcessIdleTime(Schedule &schedule,
                              const workload::Workload &wl,
                              const accel::Accelerator &acc) const;

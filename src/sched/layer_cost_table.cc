@@ -1,0 +1,85 @@
+#include "sched/layer_cost_table.hh"
+
+#include <algorithm>
+
+#include "util/thread_pool.hh"
+
+namespace herald::sched
+{
+
+LayerCostTable
+LayerCostTable::build(cost::CostModel &model,
+                      const workload::Workload &wl,
+                      const accel::Accelerator &acc, Metric metric,
+                      const accel::RdaOverheads &rda,
+                      std::size_t num_threads)
+{
+    LayerCostTable table;
+    table.nAcc = acc.numSubAccs();
+
+    const std::size_t n_models = wl.numUniqueModels();
+    table.modelOffset.resize(n_models, 0);
+    std::size_t rows = 0;
+    for (std::size_t u = 0; u < n_models; ++u) {
+        table.modelOffset[u] = rows;
+        rows += wl.uniqueModel(u).numLayers();
+    }
+    table.entries.resize(rows * table.nAcc);
+    table.metrics.resize(rows * table.nAcc);
+    table.orders.resize(rows * table.nAcc);
+    if (rows == 0 || table.nAcc == 0)
+        return table;
+
+    // Hoist the per-sub-accelerator descriptors and resource views
+    // out of the fill loop, and map every row back to its layer.
+    std::vector<cost::SubAccResources> res(table.nAcc);
+    for (std::size_t a = 0; a < table.nAcc; ++a)
+        res[a] = acc.resources(a);
+    std::vector<const dnn::Layer *> layer_of(rows);
+    for (std::size_t u = 0; u < n_models; ++u) {
+        const dnn::Model &m = wl.uniqueModel(u);
+        for (std::size_t l = 0; l < m.numLayers(); ++l)
+            layer_of[table.modelOffset[u] + l] = &m.layer(l);
+    }
+
+    // Fill one row: every sub-acc cost, its metric value, and the
+    // metric-sorted sub-acc order. Rows are independent pure
+    // functions of (layer, acc), so the parallel fill is bit-
+    // identical to the serial one.
+    auto fill_row = [&](std::size_t row) {
+        const dnn::Layer &layer = *layer_of[row];
+        const std::size_t base = row * table.nAcc;
+        for (std::size_t a = 0; a < table.nAcc; ++a) {
+            table.entries[base + a] = accel::evaluateOnSub(
+                model, acc.subAccs()[a], res[a], layer, rda);
+            table.metrics[base + a] =
+                metricValue(metric, table.entries[base + a].cost);
+            table.orders[base + a] = a;
+        }
+        std::sort(table.orders.begin() +
+                      static_cast<std::ptrdiff_t>(base),
+                  table.orders.begin() +
+                      static_cast<std::ptrdiff_t>(base + table.nAcc),
+                  [&](std::size_t a, std::size_t b) {
+                      return table.metrics[base + a] <
+                             table.metrics[base + b];
+                  });
+    };
+
+    std::size_t threads = num_threads == 1
+                              ? 1
+                              : util::resolveThreadCount(num_threads);
+    // One row is the unit of work; spawning more workers than rows
+    // would only pay thread create/join cost for idle hands.
+    threads = std::min(threads, rows);
+    if (threads > 1 && rows * table.nAcc >= kMinParallelEvals) {
+        util::ThreadPool pool(threads - 1);
+        pool.parallelFor(0, rows, fill_row);
+    } else {
+        for (std::size_t row = 0; row < rows; ++row)
+            fill_row(row);
+    }
+    return table;
+}
+
+} // namespace herald::sched

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Precomputed layer-cost tables for the scheduler's hot loop.
+ *
+ * A schedule() run queries the cost of every (layer, sub-accelerator)
+ * pair it considers. Real-time workloads make those queries massively
+ * redundant: addPeriodicModel expands "model @ FPS for K frames" into
+ * thousands of instances of the same few models, so the same (layer
+ * shape, sub-acc) cost is needed over and over. The CostModel cache
+ * absorbs the recomputation but still charges a hash + shard-mutex
+ * round trip per query.
+ *
+ * A LayerCostTable collapses that to pure index arithmetic: before
+ * the scheduling loop starts, every (unique layer x sub-acc) cost is
+ * evaluated exactly once into a dense array, together with the per-
+ * layer metric values and the metric-sorted sub-accelerator order the
+ * assignment loop needs — so the loop performs no hashing, takes no
+ * locks, and allocates nothing per layer. The prefill fans out over a
+ * util::ThreadPool when the table is large enough to amortize the
+ * workers (big single-candidate runs; inside the DSE's partition
+ * sweep each candidate builds its table serially on its own worker).
+ *
+ * The table stores exactly what accel::evaluateOnSubAcc returns, so
+ * schedules built from it are bit-identical to schedules that query
+ * the cost model per layer.
+ */
+
+#ifndef HERALD_SCHED_LAYER_COST_TABLE_HH
+#define HERALD_SCHED_LAYER_COST_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/rda.hh"
+#include "sched/metric.hh"
+#include "workload/workload.hh"
+
+namespace herald::sched
+{
+
+/** See file comment. */
+class LayerCostTable
+{
+  public:
+    /**
+     * Evaluate every (unique layer, sub-accelerator) pair of @p wl on
+     * @p acc. @p num_threads controls the prefill fan-out: 1 forces
+     * the serial path, 0 resolves via HERALD_THREADS then hardware
+     * concurrency; a pool is only spun up when the table has at least
+     * kMinParallelEvals entries.
+     */
+    static LayerCostTable build(cost::CostModel &model,
+                                const workload::Workload &wl,
+                                const accel::Accelerator &acc,
+                                Metric metric,
+                                const accel::RdaOverheads &rda,
+                                std::size_t num_threads = 1);
+
+    /** Sub-accelerator count the table was built for. */
+    std::size_t numSubAccs() const { return nAcc; }
+
+    /** Total rows: unique layers summed over unique models. */
+    std::size_t numUniqueLayers() const
+    {
+        return nAcc == 0 ? 0 : entries.size() / nAcc;
+    }
+
+    /** Row id of layer @p layer of unique model @p uid. */
+    std::size_t
+    rowOf(std::size_t uid, std::size_t layer) const
+    {
+        return modelOffset[uid] + layer;
+    }
+
+    /** Cost of row @p row on sub-accelerator @p a. */
+    const accel::StyledLayerCost &
+    cost(std::size_t row, std::size_t a) const
+    {
+        return entries[row * nAcc + a];
+    }
+
+    /** Assignment-metric value of row @p row on sub-acc @p a. */
+    double
+    metric(std::size_t row, std::size_t a) const
+    {
+        return metrics[row * nAcc + a];
+    }
+
+    /**
+     * Sub-accelerator indices of row @p row sorted by ascending
+     * metric (numSubAccs() entries), exactly as the per-layer sort of
+     * the reference scheduler would order them.
+     */
+    const std::size_t *
+    order(std::size_t row) const
+    {
+        return &orders[row * nAcc];
+    }
+
+    /**
+     * Below this entry count the prefill always runs serially:
+     * unique-layer tables are small, warm-cache fills take
+     * microseconds, and spawning/joining a pool would dominate. The
+     * fan-out is for big cold single-candidate runs (large model
+     * zoos x several sub-accelerators).
+     */
+    static constexpr std::size_t kMinParallelEvals = 1024;
+
+  private:
+    std::size_t nAcc = 0;
+    std::vector<std::size_t> modelOffset; //!< per unique model
+    std::vector<accel::StyledLayerCost> entries; //!< row-major
+    std::vector<double> metrics;                 //!< row-major
+    std::vector<std::size_t> orders;             //!< row-major
+};
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_LAYER_COST_TABLE_HH

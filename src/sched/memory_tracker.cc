@@ -16,33 +16,135 @@ constexpr double kEps = 1e-6;
 
 } // namespace
 
-std::size_t
-MemoryTracker::upperBound(double t) const
+// ------------------------------------------------------------------
+// Fenwick tree over per-block delta sums
+// ------------------------------------------------------------------
+
+void
+MemoryTracker::rebuildFenwick()
 {
-    auto it = std::upper_bound(
-        events.begin(), events.end(), t,
-        [](double value, const Event &e) { return value < e.time; });
-    return static_cast<std::size_t>(it - events.begin());
+    const std::size_t n = blocks.size();
+    fenwick.assign(n + 1, 0.0);
+    for (std::size_t b = 0; b < n; ++b)
+        fenwickAdd(b, blocks[b].deltaSum);
 }
 
 void
-MemoryTracker::rebuildPrefixFrom(std::size_t pos)
+MemoryTracker::fenwickAdd(std::size_t block, double delta)
 {
-    prefix.resize(events.size());
-    double running = pos > 0 ? prefix[pos - 1] : 0.0;
-    for (std::size_t i = pos; i < events.size(); ++i) {
-        running += events[i].delta;
-        prefix[i] = running;
-    }
+    for (std::size_t i = block + 1; i < fenwick.size();
+         i += i & (~i + 1))
+        fenwick[i] += delta;
+}
+
+double
+MemoryTracker::fenwickPrefix(std::size_t block) const
+{
+    double sum = 0.0;
+    for (std::size_t i = block; i > 0; i -= i & (~i + 1))
+        sum += fenwick[i];
+    return sum;
+}
+
+// ------------------------------------------------------------------
+// Blocked timeline positions
+// ------------------------------------------------------------------
+
+MemoryTracker::Pos
+MemoryTracker::upperBound(double t) const
+{
+    // First block whose last event time > t, then the in-block upper
+    // bound. Blocks are non-empty and time-ordered.
+    auto bit = std::partition_point(
+        blocks.begin(), blocks.end(),
+        [t](const Block &b) { return b.ev.back().time <= t; });
+    if (bit == blocks.end())
+        return Pos{blocks.size(), 0};
+    auto eit = std::upper_bound(
+        bit->ev.begin(), bit->ev.end(), t,
+        [](double value, const Event &e) { return value < e.time; });
+    return Pos{static_cast<std::size_t>(bit - blocks.begin()),
+               static_cast<std::size_t>(eit - bit->ev.begin())};
+}
+
+MemoryTracker::Pos
+MemoryTracker::lowerBound(double t) const
+{
+    auto bit = std::partition_point(
+        blocks.begin(), blocks.end(),
+        [t](const Block &b) { return b.ev.back().time < t; });
+    if (bit == blocks.end())
+        return Pos{blocks.size(), 0};
+    auto eit = std::lower_bound(
+        bit->ev.begin(), bit->ev.end(), t,
+        [](const Event &e, double value) { return e.time < value; });
+    return Pos{static_cast<std::size_t>(bit - blocks.begin()),
+               static_cast<std::size_t>(eit - bit->ev.begin())};
+}
+
+double
+MemoryTracker::prefixSumBefore(Pos p) const
+{
+    if (p.block == blocks.size())
+        return fenwickPrefix(blocks.size());
+    double sum = fenwickPrefix(p.block);
+    const std::vector<Event> &ev = blocks[p.block].ev;
+    for (std::size_t i = 0; i < p.off; ++i)
+        sum += ev[i].delta;
+    return sum;
+}
+
+// ------------------------------------------------------------------
+// Event maintenance
+// ------------------------------------------------------------------
+
+void
+MemoryTracker::splitBlock(std::size_t b)
+{
+    std::vector<Event> &ev = blocks[b].ev;
+    const std::size_t half = ev.size() / 2;
+    Block tail;
+    tail.ev.assign(ev.begin() + static_cast<std::ptrdiff_t>(half),
+                   ev.end());
+    ev.resize(half);
+    blocks[b].deltaSum = 0.0;
+    for (const Event &e : ev)
+        blocks[b].deltaSum += e.delta;
+    for (const Event &e : tail.ev)
+        tail.deltaSum += e.delta;
+    blocks.insert(blocks.begin() + static_cast<std::ptrdiff_t>(b + 1),
+                  std::move(tail));
+    rebuildFenwick();
 }
 
 void
 MemoryTracker::insertEvent(double time, double delta, std::size_t idx)
 {
-    std::size_t pos = upperBound(time);
-    events.insert(events.begin() + static_cast<std::ptrdiff_t>(pos),
-                  Event{time, delta, idx});
-    rebuildPrefixFrom(pos);
+    if (blocks.empty()) {
+        Block block;
+        block.ev.push_back(Event{time, delta, idx});
+        block.deltaSum = delta;
+        blocks.push_back(std::move(block));
+        rebuildFenwick();
+        return;
+    }
+    // Insert after every equal-time event. A boundary position (the
+    // head of a block) becomes an append to the previous block, so
+    // monotone insertion degenerates to push_back on the last block.
+    Pos p = upperBound(time);
+    std::size_t b = p.block;
+    std::size_t off = p.off;
+    if (off == 0 && b > 0) {
+        --b;
+        off = blocks[b].ev.size();
+    }
+    std::vector<Event> &ev = blocks[b].ev;
+    ev.insert(ev.begin() + static_cast<std::ptrdiff_t>(off),
+              Event{time, delta, idx});
+    blocks[b].deltaSum += delta;
+    fenwickAdd(b, delta);
+    if (ev.size() > 2 * kTargetBlockEvents)
+        splitBlock(b);
 }
 
 void
@@ -50,23 +152,31 @@ MemoryTracker::eraseEvent(double time, std::size_t idx)
 {
     // Events of one interval are found by exact time (callers pass
     // the stored interval bounds back verbatim).
-    auto it = std::lower_bound(
-        events.begin(), events.end(), time,
-        [](const Event &e, double value) { return e.time < value; });
-    while (it != events.end() && it->time == time && it->idx != idx)
-        ++it;
-    if (it == events.end() || it->time != time)
+    Pos p = lowerBound(time);
+    while (valid(p) && at(p).time == time && at(p).idx != idx)
+        advance(p);
+    if (!valid(p) || at(p).time != time)
         util::panic("memory tracker: stale event erase");
-    std::size_t pos = static_cast<std::size_t>(it - events.begin());
-    events.erase(it);
-    rebuildPrefixFrom(pos);
+    Block &block = blocks[p.block];
+    block.deltaSum -= at(p).delta;
+    fenwickAdd(p.block, -block.ev[p.off].delta);
+    block.ev.erase(block.ev.begin() +
+                   static_cast<std::ptrdiff_t>(p.off));
+    if (block.ev.empty()) {
+        blocks.erase(blocks.begin() +
+                     static_cast<std::ptrdiff_t>(p.block));
+        rebuildFenwick();
+    }
 }
+
+// ------------------------------------------------------------------
+// Queries
+// ------------------------------------------------------------------
 
 double
 MemoryTracker::occupancy(double t, std::size_t exclude) const
 {
-    std::size_t m = upperBound(t + kEps);
-    double total = m > 0 ? prefix[m - 1] : 0.0;
+    double total = prefixSumBefore(upperBound(t + kEps));
     if (exclude < intervals.size()) {
         const Interval &iv = intervals[exclude];
         if (iv.start <= t + kEps && iv.end > t + kEps)
@@ -83,11 +193,12 @@ MemoryTracker::feasible(double start, double dur, double bytes,
     // Occupancy is piecewise constant; check at the window start and
     // at every interval start strictly inside the window.
     double peak = occupancy(start, exclude);
-    for (std::size_t i = upperBound(start);
-         i < events.size() && events[i].time < end; ++i) {
-        if (events[i].delta <= 0.0 || events[i].idx == exclude)
+    for (Pos p = upperBound(start);
+         valid(p) && at(p).time < end; advance(p)) {
+        const Event &e = at(p);
+        if (e.delta <= 0.0 || e.idx == exclude)
             continue;
-        peak = std::max(peak, occupancy(events[i].time, exclude));
+        peak = std::max(peak, occupancy(e.time, exclude));
     }
     return peak + bytes <= capacity + kEps;
 }
@@ -110,10 +221,9 @@ MemoryTracker::firstFeasible(double start, double dur,
         // Jump to the next release that could lower occupancy: the
         // first end event after t on the sorted timeline.
         double next = std::numeric_limits<double>::infinity();
-        for (std::size_t i = upperBound(t + kEps); i < events.size();
-             ++i) {
-            if (events[i].delta < 0.0) {
-                next = events[i].time;
+        for (Pos p = upperBound(t + kEps); valid(p); advance(p)) {
+            if (at(p).delta < 0.0) {
+                next = at(p).time;
                 break;
             }
         }
@@ -122,6 +232,17 @@ MemoryTracker::firstFeasible(double start, double dur,
         t = next;
     }
     util::panic("memory tracker failed to converge");
+}
+
+// ------------------------------------------------------------------
+// Interval maintenance
+// ------------------------------------------------------------------
+
+void
+MemoryTracker::reserve(std::size_t num_intervals)
+{
+    intervals.reserve(num_intervals);
+    blocks.reserve(2 * num_intervals / kTargetBlockEvents + 2);
 }
 
 std::size_t

@@ -4,14 +4,22 @@
  * (start, end, bytes) intervals with feasibility queries.
  *
  * The tracker keeps an event timeline — every interval contributes a
- * +bytes event at its start and a -bytes event at its end, kept
- * sorted by time with a running-occupancy prefix. Occupancy at a
- * point is a binary search plus one prefix read (O(log n));
- * feasibility of a window only walks the events *inside* the window
- * instead of re-scanning every interval per candidate point, which is
- * what made the old implementation O(n^2) per query. Adds and moves
- * splice the sorted timeline (O(n) worst case, O(1) amortized for the
- * scheduler's mostly-forward-in-time insertion order).
+ * +bytes event at its start and a -bytes event at its end. Events are
+ * stored in a *blocked* timeline (sqrt-decomposition): time-sorted
+ * blocks of a few hundred events each, with a Fenwick tree over the
+ * per-block delta sums. Occupancy at a point is a block binary
+ * search, a Fenwick prefix read and one partial-block walk
+ * (O(log B + block) instead of O(events) — and, unlike a flat
+ * prefix array, *inserts* are also O(log B + block): a flat array
+ * charges O(events-after-position) per insert, which turns
+ * schedulers that commit intervals out of time order (breadth-first
+ * round-robin over thousands of in-flight frames) quadratic.
+ * Feasibility of a window walks only the events inside the window.
+ *
+ * All byte counts are integer-valued doubles, so every delta sum is
+ * exact and query results are bit-identical to the flat-timeline and
+ * brute-force reference implementations (asserted against a
+ * randomized oracle in test_parallel_dse.cc).
  *
  * Occupancy is piecewise constant and evaluated with a small epsilon
  * so zero-length touches at interval boundaries don't double-count:
@@ -57,6 +65,14 @@ class MemoryTracker
     double firstFeasible(double start, double dur,
                          double bytes) const;
 
+    /**
+     * Pre-size the interval and block storage for @p num_intervals
+     * upcoming add() calls — schedulers know the layer count up
+     * front, and a 10k-frame run would otherwise regrow the timeline
+     * dozens of times.
+     */
+    void reserve(std::size_t num_intervals);
+
     /** Track a new interval; returns its index (for move/exclude). */
     std::size_t add(double start, double dur, double bytes);
 
@@ -77,17 +93,64 @@ class MemoryTracker
         std::size_t idx; //!< owning interval
     };
 
+    /** One run of the time-sorted timeline (never empty). */
+    struct Block
+    {
+        std::vector<Event> ev;
+        double deltaSum = 0.0;
+    };
+
+    /** Split threshold; blocks grow to at most twice this. */
+    static constexpr std::size_t kTargetBlockEvents = 256;
+
+    /** Global event position: block index + offset inside it. */
+    struct Pos
+    {
+        std::size_t block;
+        std::size_t off;
+    };
+
     double capacity;
     std::vector<Interval> intervals;
-    std::vector<Event> events;  //!< sorted by time
-    std::vector<double> prefix; //!< occupancy after events[i]
+    std::vector<Block> blocks;   //!< time-ordered, all non-empty
+    std::vector<double> fenwick; //!< 1-based BIT over block deltaSums
 
-    /** First event position with time > @p t. */
-    std::size_t upperBound(double t) const;
+    bool
+    valid(Pos p) const
+    {
+        return p.block < blocks.size();
+    }
+
+    const Event &
+    at(Pos p) const
+    {
+        return blocks[p.block].ev[p.off];
+    }
+
+    void
+    advance(Pos &p) const
+    {
+        if (++p.off == blocks[p.block].ev.size()) {
+            ++p.block;
+            p.off = 0;
+        }
+    }
+
+    /** First event position with time > @p t (end position if none). */
+    Pos upperBound(double t) const;
+    /** First event position with time >= @p t. */
+    Pos lowerBound(double t) const;
+
+    /** Sum of every event delta strictly before position @p p. */
+    double prefixSumBefore(Pos p) const;
 
     void insertEvent(double time, double delta, std::size_t idx);
     void eraseEvent(double time, std::size_t idx);
-    void rebuildPrefixFrom(std::size_t pos);
+    void splitBlock(std::size_t b);
+
+    void rebuildFenwick();
+    void fenwickAdd(std::size_t block, double delta);
+    double fenwickPrefix(std::size_t block) const; //!< blocks [0, b)
 };
 
 } // namespace herald::sched

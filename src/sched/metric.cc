@@ -1,0 +1,36 @@
+#include "sched/metric.hh"
+
+#include "util/logging.hh"
+
+namespace herald::sched
+{
+
+double
+metricValue(Metric metric, const cost::LayerCost &cost)
+{
+    switch (metric) {
+      case Metric::Edp:
+        return cost.edp();
+      case Metric::Latency:
+        return cost.cycles;
+      case Metric::Energy:
+        return cost.energyUnits;
+    }
+    util::panic("unknown Metric");
+}
+
+const char *
+toString(Metric metric)
+{
+    switch (metric) {
+      case Metric::Edp:
+        return "EDP";
+      case Metric::Latency:
+        return "latency";
+      case Metric::Energy:
+        return "energy";
+    }
+    util::panic("unknown Metric");
+}
+
+} // namespace herald::sched

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The per-layer assignment metric shared by the scheduler's greedy
+ * loop and the LayerCostTable prefill. Split out of
+ * herald_scheduler.hh so the table does not depend on the scheduler
+ * header (the scheduler consumes the table, not the other way
+ * around).
+ */
+
+#ifndef HERALD_SCHED_METRIC_HH
+#define HERALD_SCHED_METRIC_HH
+
+#include "cost/cost_model.hh"
+
+namespace herald::sched
+{
+
+/** Which per-layer cost the assignment greedily minimizes. */
+enum class Metric
+{
+    Edp,
+    Latency,
+    Energy,
+};
+
+const char *toString(Metric metric);
+
+/** The scalar @p metric value of @p cost. */
+double metricValue(Metric metric, const cost::LayerCost &cost);
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_METRIC_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The pre-rewrite Herald scheduler, kept verbatim as a verification
+ * oracle: per-layer cost-model queries, O(n_instances) selection
+ * scans, per-pass state rebuilds in post-processing, and the flat
+ * (quadratic-insert) memory tracker.
+ *
+ * NOT part of libherald — this translation unit is compiled into the
+ * separate herald_sched_reference library that only the tests and
+ * benchmarks link (ISSUE: "reference implementation behind a
+ * test-only flag"). tests/test_sched_equivalence.cc asserts
+ * HeraldScheduler::schedule() is bit-identical to this on every
+ * scenario; bench_sched_throughput uses it as the speedup baseline.
+ */
+
+#ifndef HERALD_SCHED_REFERENCE_SCHEDULER_HH
+#define HERALD_SCHED_REFERENCE_SCHEDULER_HH
+
+#include "sched/herald_scheduler.hh"
+
+namespace herald::sched
+{
+
+/**
+ * Schedule @p wl on @p acc with the pre-rewrite implementation under
+ * @p opts (prefillThreads is ignored — there is no table to
+ * prefill).
+ */
+Schedule referenceSchedule(cost::CostModel &model,
+                           const SchedulerOptions &opts,
+                           const workload::Workload &wl,
+                           const accel::Accelerator &acc);
+
+} // namespace herald::sched
+
+#endif // HERALD_SCHED_REFERENCE_SCHEDULER_HH

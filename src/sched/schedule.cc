@@ -15,6 +15,29 @@ namespace
 constexpr double kEps = 1e-6;
 } // namespace
 
+bool
+operator==(const ScheduledLayer &a, const ScheduledLayer &b)
+{
+    return a.instanceIdx == b.instanceIdx &&
+           a.layerIdx == b.layerIdx && a.accIdx == b.accIdx &&
+           a.style == b.style && a.startCycle == b.startCycle &&
+           a.endCycle == b.endCycle &&
+           a.energyUnits == b.energyUnits &&
+           a.l2FootprintBytes == b.l2FootprintBytes;
+}
+
+bool
+Schedule::identicalTo(const Schedule &other) const
+{
+    if (numAccs != other.numAccs || list.size() != other.list.size())
+        return false;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+        if (list[i] != other.list[i])
+            return false;
+    }
+    return true;
+}
+
 void
 Schedule::add(ScheduledLayer entry)
 {

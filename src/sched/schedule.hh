@@ -36,6 +36,17 @@ struct ScheduledLayer
     double duration() const { return endCycle - startCycle; }
 };
 
+/**
+ * Exact (bit-level on the doubles) equality — the equivalence suite
+ * compares production and reference schedules entry by entry.
+ */
+bool operator==(const ScheduledLayer &a, const ScheduledLayer &b);
+inline bool
+operator!=(const ScheduledLayer &a, const ScheduledLayer &b)
+{
+    return !(a == b);
+}
+
 /** Per-instance (frame) service-level outcome. */
 struct InstanceSla
 {
@@ -90,6 +101,15 @@ class Schedule
     }
 
     void add(ScheduledLayer entry);
+
+    /** Pre-size the entry list (schedulers know totalLayers()). */
+    void reserve(std::size_t num_entries) { list.reserve(num_entries); }
+
+    /**
+     * Entry-by-entry exact equality against @p other (same order,
+     * every field identical, including the double-typed times).
+     */
+    bool identicalTo(const Schedule &other) const;
 
     const std::vector<ScheduledLayer> &entries() const { return list; }
     std::vector<ScheduledLayer> &mutableEntries() { return list; }

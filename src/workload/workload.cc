@@ -8,6 +8,61 @@
 namespace herald::workload
 {
 
+namespace
+{
+
+/**
+ * Structural model equality: same name, layer count, and per-layer
+ * kind + canonical geometry. Layer display names are ignored — cost
+ * and scheduling behaviour depend on the geometry only.
+ */
+bool
+modelsStructurallyEqual(const dnn::Model &a, const dnn::Model &b)
+{
+    if (a.name() != b.name() || a.numLayers() != b.numLayers())
+        return false;
+    for (std::size_t i = 0; i < a.numLayers(); ++i) {
+        const dnn::Layer &la = a.layer(i);
+        const dnn::Layer &lb = b.layer(i);
+        if (la.kind() != lb.kind())
+            return false;
+        const dnn::CanonicalConv &ca = la.canonical();
+        const dnn::CanonicalConv &cb = lb.canonical();
+        if (ca.depthwise != cb.depthwise || ca.k != cb.k ||
+            ca.c != cb.c || ca.oy != cb.oy || ca.ox != cb.ox ||
+            ca.r != cb.r || ca.s != cb.s ||
+            ca.strideNum != cb.strideNum ||
+            ca.strideDen != cb.strideDen) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Workload::registerSpec(const dnn::Model &model, int copies)
+{
+    std::size_t spec_idx = modelSpecs.size() - 1;
+    std::size_t uid = uniqueSpec.size();
+    for (std::size_t u = 0; u < uniqueSpec.size(); ++u) {
+        if (modelsStructurallyEqual(modelSpecs[uniqueSpec[u]].model,
+                                    model)) {
+            uid = u;
+            break;
+        }
+    }
+    if (uid == uniqueSpec.size())
+        uniqueSpec.push_back(spec_idx);
+    specUniqueId.push_back(uid);
+
+    cachedTotalLayers +=
+        static_cast<std::size_t>(copies) * model.numLayers();
+    cachedTotalMacs +=
+        static_cast<std::uint64_t>(copies) * model.totalMacs();
+}
+
 void
 Workload::addModel(dnn::Model model, int batches,
                    double arrival_cycle, double deadline_cycles)
@@ -36,6 +91,7 @@ Workload::addModel(dnn::Model model, int batches,
     RealtimeSpec rt;
     rt.deadlineCycles = deadline_cycles;
     modelSpecs.push_back(ModelSpec{std::move(model), batches, rt});
+    registerSpec(modelSpecs.back().model, batches);
 }
 
 void
@@ -71,6 +127,7 @@ Workload::addPeriodicModel(dnn::Model model, int frames,
     rt.periodCycles = period_cycles;
     rt.deadlineCycles = rel_deadline;
     modelSpecs.push_back(ModelSpec{std::move(model), frames, rt});
+    registerSpec(modelSpecs.back().model, frames);
 }
 
 const dnn::Model &
@@ -82,22 +139,31 @@ Workload::modelOf(std::size_t instance_idx) const
     return modelSpecs[insts[instance_idx].specIdx].model;
 }
 
-std::size_t
-Workload::totalLayers() const
+const dnn::Model &
+Workload::uniqueModel(std::size_t uid) const
 {
-    std::size_t total = 0;
-    for (const Instance &inst : insts)
-        total += modelSpecs[inst.specIdx].model.numLayers();
-    return total;
+    if (uid >= uniqueSpec.size())
+        util::panic("workload '", wlName, "': unique model ", uid,
+                    " out of range");
+    return modelSpecs[uniqueSpec[uid]].model;
 }
 
-std::uint64_t
-Workload::totalMacs() const
+std::size_t
+Workload::uniqueIdOfSpec(std::size_t spec_idx) const
 {
-    std::uint64_t total = 0;
-    for (const Instance &inst : insts)
-        total += modelSpecs[inst.specIdx].model.totalMacs();
-    return total;
+    if (spec_idx >= specUniqueId.size())
+        util::panic("workload '", wlName, "': spec ", spec_idx,
+                    " out of range");
+    return specUniqueId[spec_idx];
+}
+
+std::size_t
+Workload::uniqueIdOfInstance(std::size_t instance_idx) const
+{
+    if (instance_idx >= insts.size())
+        util::panic("workload '", wlName, "': instance ",
+                    instance_idx, " out of range");
+    return specUniqueId[insts[instance_idx].specIdx];
 }
 
 bool

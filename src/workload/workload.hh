@@ -96,11 +96,33 @@ class Workload
     /** The model an instance executes. */
     const dnn::Model &modelOf(std::size_t instance_idx) const;
 
-    /** Total schedulable layers across all instances. */
-    std::size_t totalLayers() const;
+    // --- Unique-model index ---
+    // Real-time scenarios expand "model @ FPS for K frames" into
+    // thousands of instances of the same few models, and separate
+    // addModel/addPeriodicModel calls may pass structurally equal
+    // models (e.g. two dnn::mobileNetV2() streams). Specs whose
+    // models are structurally equal (same name, layer count and
+    // per-layer kind/canonical geometry) share one unique-model id,
+    // so per-model work (cost tables, layer statistics) is O(unique
+    // models), not O(instances).
 
-    /** Total MACs across all instances. */
-    std::uint64_t totalMacs() const;
+    /** Number of structurally distinct models in the workload. */
+    std::size_t numUniqueModels() const { return uniqueSpec.size(); }
+
+    /** A representative model for unique-model id @p uid. */
+    const dnn::Model &uniqueModel(std::size_t uid) const;
+
+    /** Unique-model id of spec @p spec_idx. */
+    std::size_t uniqueIdOfSpec(std::size_t spec_idx) const;
+
+    /** Unique-model id of instance @p instance_idx. */
+    std::size_t uniqueIdOfInstance(std::size_t instance_idx) const;
+
+    /** Total schedulable layers across all instances (O(1)). */
+    std::size_t totalLayers() const { return cachedTotalLayers; }
+
+    /** Total MACs across all instances (O(1)). */
+    std::uint64_t totalMacs() const { return cachedTotalMacs; }
 
     /** True when any instance arrives after cycle 0. */
     bool hasArrivals() const;
@@ -112,6 +134,18 @@ class Workload
     std::string wlName;
     std::vector<ModelSpec> modelSpecs;
     std::vector<Instance> insts;
+
+    // Unique-model index (see accessors above). specUniqueId maps a
+    // spec to its unique-model id; uniqueSpec maps a unique-model id
+    // back to the first spec carrying that model.
+    std::vector<std::size_t> specUniqueId;
+    std::vector<std::size_t> uniqueSpec;
+
+    std::size_t cachedTotalLayers = 0;
+    std::uint64_t cachedTotalMacs = 0;
+
+    /** Dedup @p model against uniqueSpec; records the new spec. */
+    void registerSpec(const dnn::Model &model, int copies);
 };
 
 /** Frame period in cycles for @p fps at @p clock_ghz. */

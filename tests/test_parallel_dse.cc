@@ -219,7 +219,9 @@ TEST(MemoryTrackerTest, MatchesBruteForceOnRandomizedIntervals)
     sched::MemoryTracker tracker(capacity);
     BruteTracker brute(capacity);
 
-    for (int step = 0; step < 400; ++step) {
+    // Enough steps to drive the blocked timeline through several
+    // block splits (and empty-block erases via move()).
+    for (int step = 0; step < 2000; ++step) {
         double start = static_cast<double>(rng.nextBounded(200));
         double dur =
             static_cast<double>(1 + rng.nextBounded(40));

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Scheduler equivalence suite: the table-driven, event-dispatch
+ * scheduler must produce *bit-identical* schedules to the reference
+ * implementation (per-layer cost queries + O(n_instances) scans) on
+ * every factory scenario, under every combination of
+ * {FIFO, EDF} x {BreadthFirst, DepthFirst} x postProcess {on, off} —
+ * plus prefill-thread determinism and prebuilt-table reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "dnn/model_zoo.hh"
+#include "sched/herald_scheduler.hh"
+#include "sched/layer_cost_table.hh"
+#include "sched/reference_scheduler.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using accel::Accelerator;
+using dataflow::DataflowStyle;
+using sched::HeraldScheduler;
+using sched::Schedule;
+using sched::SchedulerOptions;
+using workload::Workload;
+
+Accelerator
+edgeHda()
+{
+    return Accelerator::makeHda(
+        accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao},
+        {512, 512}, {8.0, 8.0});
+}
+
+Accelerator
+threeWayHda()
+{
+    return Accelerator::makeHda(
+        accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+         DataflowStyle::Eyeriss},
+        {512, 256, 256}, {8.0, 4.0, 4.0});
+}
+
+/** Small mixed workload with batches and a staggered late stream. */
+Workload
+miniMixed()
+{
+    Workload wl("mini-mixed");
+    dnn::Model conv_net("ConvNet");
+    conv_net.addLayer(dnn::makeConv("c1", 64, 3, 58, 58, 3, 3));
+    conv_net.addLayer(dnn::makeDepthwise("dw", 64, 56, 56, 3, 3));
+    conv_net.addLayer(dnn::makeConv("c2", 128, 64, 28, 28, 3, 3));
+    conv_net.addLayer(dnn::makeFullyConnected("fc", 10, 128));
+    dnn::Model fc_net("FcNet");
+    fc_net.addLayer(dnn::makeFullyConnected("f1", 1024, 1024));
+    fc_net.addLayer(dnn::makeFullyConnected("f2", 1024, 1024));
+    wl.addModel(std::move(conv_net), 2);
+    wl.addModel(std::move(fc_net), 2, /*arrival=*/5e5,
+                /*deadline=*/4e6);
+    return wl;
+}
+
+/** One-layer frames stress the exhausted-before-release paths. */
+Workload
+tinyFramesFarApart()
+{
+    Workload wl("tiny-frames");
+    dnn::Model tiny("Tiny");
+    tiny.addLayer(dnn::makeFullyConnected("f", 256, 256));
+    wl.addPeriodicModel(std::move(tiny), 6, /*period=*/1e7,
+                        /*deadline=*/5e6);
+    return wl;
+}
+
+/**
+ * Sub-epsilon arrival ties: distinct arrivals closer than the
+ * scheduler's kEps (1e-6 cycles) drive the nothing-has-arrived
+ * fallback through its epsilon-tolerant reference scan (the one
+ * branch the exact-equal-band closed form cannot take), including a
+ * chained band that extends past the first epsilon window.
+ */
+Workload
+subEpsilonArrivals()
+{
+    Workload wl("sub-eps-arrivals");
+    dnn::Model a("A");
+    a.addLayer(dnn::makeFullyConnected("f", 256, 256));
+    a.addLayer(dnn::makeFullyConnected("g", 128, 256));
+    dnn::Model b("B");
+    b.addLayer(dnn::makeFullyConnected("f", 512, 128));
+    dnn::Model c("C");
+    c.addLayer(dnn::makeConv("c", 32, 16, 30, 30, 3, 3));
+    wl.addModel(std::move(a), 2, /*arrival=*/100.0,
+                /*deadline=*/6e6);
+    wl.addModel(std::move(b), 1, /*arrival=*/100.0000005,
+                /*deadline=*/4e6); // within kEps of 100.0
+    wl.addModel(std::move(c), 1, /*arrival=*/100.0000012,
+                /*deadline=*/5e6); // chains past the first window
+    wl.addModel(dnn::mobileNetV2(), 1, /*arrival=*/3e7);
+    return wl;
+}
+
+struct NamedWorkload
+{
+    std::string name;
+    Workload wl;
+};
+
+std::vector<NamedWorkload>
+scenarios()
+{
+    std::vector<NamedWorkload> out;
+    out.push_back({"mini-mixed", miniMixed()});
+    out.push_back({"tiny-frames", tinyFramesFarApart()});
+    out.push_back({"sub-eps", subEpsilonArrivals()});
+    out.push_back({"arvrA", workload::arvrA()});
+    out.push_back({"arvrA60fps", workload::arvrA60fps(3)});
+    out.push_back({"mixedTenant", workload::mixedTenantScenario(2)});
+    return out;
+}
+
+class SchedEquivalenceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    cost::CostModel model;
+
+    void
+    expectEquivalent(const Workload &wl, const Accelerator &acc,
+                     const SchedulerOptions &opts,
+                     const std::string &label)
+    {
+        HeraldScheduler scheduler(model, opts);
+        Schedule fast = scheduler.schedule(wl, acc);
+        Schedule ref = sched::referenceSchedule(model, opts, wl, acc);
+        ASSERT_EQ(fast.entries().size(), ref.entries().size())
+            << label;
+        for (std::size_t i = 0; i < fast.entries().size(); ++i) {
+            EXPECT_EQ(fast.entries()[i], ref.entries()[i])
+                << label << " entry " << i;
+        }
+        EXPECT_TRUE(fast.identicalTo(ref)) << label;
+        EXPECT_EQ(fast.validate(wl, acc), "") << label;
+    }
+};
+
+TEST_F(SchedEquivalenceTest, AllScenariosAllPolicyCombinations)
+{
+    Accelerator acc = edgeHda();
+    for (const NamedWorkload &s : scenarios()) {
+        for (bool edf : {false, true}) {
+            for (auto ordering : {sched::Ordering::BreadthFirst,
+                                  sched::Ordering::DepthFirst}) {
+                for (bool pp : {false, true}) {
+                    SchedulerOptions opts;
+                    opts.deadlineAware = edf;
+                    opts.ordering = ordering;
+                    opts.postProcess = pp;
+                    std::string label =
+                        s.name + (edf ? "/EDF" : "/FIFO") + "/" +
+                        sched::toString(ordering) +
+                        (pp ? "/pp" : "/nopp");
+                    expectEquivalent(s.wl, acc, opts, label);
+                }
+            }
+        }
+    }
+}
+
+TEST_F(SchedEquivalenceTest, ThreeWayHdaWithContextChange)
+{
+    Accelerator acc = threeWayHda();
+    SchedulerOptions opts;
+    opts.contextChangeCycles = 1e4;
+    expectEquivalent(miniMixed(), acc, opts, "3way/context");
+    opts.deadlineAware = true;
+    expectEquivalent(workload::arvrA60fps(2), acc, opts,
+                     "3way/context/EDF");
+}
+
+TEST_F(SchedEquivalenceTest, LoadBalanceVariantsStayIdentical)
+{
+    Accelerator acc = edgeHda();
+    SchedulerOptions opts;
+    opts.loadBalance = false;
+    expectEquivalent(miniMixed(), acc, opts, "noLB");
+    opts.loadBalance = true;
+    opts.loadBalanceFactor = 1.2;
+    opts.loadBalanceMaxDegradation = 8.0;
+    expectEquivalent(miniMixed(), acc, opts, "tightLB");
+}
+
+TEST_F(SchedEquivalenceTest, AlternateMetricsStayIdentical)
+{
+    Accelerator acc = edgeHda();
+    for (auto metric : {sched::Metric::Latency,
+                        sched::Metric::Energy}) {
+        SchedulerOptions opts;
+        opts.metric = metric;
+        expectEquivalent(miniMixed(), acc, opts,
+                         std::string("metric/") +
+                             sched::toString(metric));
+    }
+}
+
+TEST_F(SchedEquivalenceTest, RdaFlexibleArrayStaysIdentical)
+{
+    Accelerator acc = Accelerator::makeRda(accel::edgeClass());
+    SchedulerOptions opts;
+    expectEquivalent(miniMixed(), acc, opts, "rda");
+}
+
+TEST_F(SchedEquivalenceTest, PrefillThreadCountIsIrrelevant)
+{
+    // The parallel table prefill must be bit-identical to the serial
+    // one for any worker count (pure per-row fills). The workload
+    // needs enough unique layers x sub-accs to cross the
+    // kMinParallelEvals gate, or the pool never spins up.
+    Accelerator acc = Accelerator::makeHda(
+        accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+         DataflowStyle::Eyeriss, DataflowStyle::NVDLA},
+        {256, 256, 256, 256}, {4.0, 4.0, 4.0, 4.0});
+    Workload wl("zoo");
+    wl.addModel(dnn::resnet50(), 1);
+    wl.addModel(dnn::mobileNetV1(), 1);
+    wl.addModel(dnn::mobileNetV2(), 1);
+    wl.addModel(dnn::uNet(), 1);
+    wl.addModel(dnn::ssdResnet34(), 1);
+    wl.addModel(dnn::ssdMobileNetV1(), 1);
+    wl.addModel(dnn::gnmt(), 1);
+    wl.addModel(dnn::brqHandposeNet(), 1);
+    wl.addModel(dnn::focalLengthDepthNet(), 1);
+    ASSERT_GE(wl.totalLayers() * acc.numSubAccs(),
+              sched::LayerCostTable::kMinParallelEvals)
+        << "workload too small to engage the parallel prefill";
+
+    SchedulerOptions serial_opts;
+    serial_opts.prefillThreads = 1;
+    SchedulerOptions parallel_opts = serial_opts;
+    parallel_opts.prefillThreads = 7;
+    Schedule a =
+        HeraldScheduler(model, serial_opts).schedule(wl, acc);
+    Schedule b =
+        HeraldScheduler(model, parallel_opts).schedule(wl, acc);
+    EXPECT_TRUE(a.identicalTo(b));
+}
+
+TEST_F(SchedEquivalenceTest, PrebuiltTableReuseMatchesInternalBuild)
+{
+    Accelerator acc = edgeHda();
+    Workload wl = workload::arvrA60fps(2);
+    SchedulerOptions opts;
+    opts.deadlineAware = true;
+    HeraldScheduler scheduler(model, opts);
+    sched::LayerCostTable table = sched::LayerCostTable::build(
+        model, wl, acc, opts.metric, opts.rdaOverheads, 1);
+    EXPECT_EQ(table.numSubAccs(), acc.numSubAccs());
+    EXPECT_GT(table.numUniqueLayers(), 0u);
+    Schedule internal = scheduler.schedule(wl, acc);
+    Schedule reused = scheduler.schedule(wl, acc, table);
+    Schedule reused_again = scheduler.schedule(wl, acc, table);
+    EXPECT_TRUE(internal.identicalTo(reused));
+    EXPECT_TRUE(internal.identicalTo(reused_again));
+}
+
+TEST_F(SchedEquivalenceTest, TableOrderMatchesMetricSort)
+{
+    Accelerator acc = threeWayHda();
+    Workload wl = miniMixed();
+    sched::LayerCostTable table = sched::LayerCostTable::build(
+        model, wl, acc, sched::Metric::Edp, accel::RdaOverheads{},
+        1);
+    for (std::size_t row = 0; row < table.numUniqueLayers(); ++row) {
+        const std::size_t *order = table.order(row);
+        for (std::size_t k = 1; k < table.numSubAccs(); ++k) {
+            EXPECT_LE(table.metric(row, order[k - 1]),
+                      table.metric(row, order[k]))
+                << "row " << row;
+        }
+    }
+}
+
+} // namespace

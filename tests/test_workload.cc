@@ -108,4 +108,67 @@ TEST_F(WorkloadTest, TotalMacsIsSumOverInstances)
     EXPECT_EQ(wl.totalMacs(), 2 * dnn::mobileNetV2().totalMacs());
 }
 
+TEST_F(WorkloadTest, UniqueModelsDedupAcrossSpecs)
+{
+    // Two separate addModel/addPeriodicModel calls carrying
+    // structurally equal models must share one unique id — that is
+    // exactly the frames-of-the-same-model pattern the LayerCostTable
+    // relies on.
+    Workload wl("test");
+    wl.addModel(dnn::mobileNetV2(), 2);
+    wl.addPeriodicModel(dnn::mobileNetV2(), 3, 1e6);
+    wl.addModel(dnn::uNet(), 1);
+    EXPECT_EQ(wl.specs().size(), 3u);
+    EXPECT_EQ(wl.numUniqueModels(), 2u);
+    EXPECT_EQ(wl.uniqueIdOfSpec(0), wl.uniqueIdOfSpec(1));
+    EXPECT_NE(wl.uniqueIdOfSpec(0), wl.uniqueIdOfSpec(2));
+    // Every instance maps to its spec's unique id.
+    for (std::size_t i = 0; i < wl.numInstances(); ++i) {
+        EXPECT_EQ(wl.uniqueIdOfInstance(i),
+                  wl.uniqueIdOfSpec(wl.instances()[i].specIdx));
+    }
+    // The representative model is structurally the right one.
+    EXPECT_EQ(wl.uniqueModel(wl.uniqueIdOfSpec(0)).name(),
+              dnn::mobileNetV2().name());
+    EXPECT_EQ(wl.uniqueModel(wl.uniqueIdOfSpec(2)).name(),
+              dnn::uNet().name());
+}
+
+TEST_F(WorkloadTest, UniqueModelsDistinguishGeometry)
+{
+    // Same name, different geometry => distinct unique models.
+    Workload wl("test");
+    dnn::Model a("M");
+    a.addLayer(dnn::makeFullyConnected("f", 128, 128));
+    dnn::Model b("M");
+    b.addLayer(dnn::makeFullyConnected("f", 256, 128));
+    wl.addModel(std::move(a), 1);
+    wl.addModel(std::move(b), 1);
+    EXPECT_EQ(wl.numUniqueModels(), 2u);
+}
+
+TEST_F(WorkloadTest, UniqueModelOutOfRangePanics)
+{
+    Workload wl("test");
+    wl.addModel(dnn::uNet(), 1);
+    EXPECT_THROW(wl.uniqueModel(1), std::logic_error);
+    EXPECT_THROW(wl.uniqueIdOfSpec(1), std::logic_error);
+    EXPECT_THROW(wl.uniqueIdOfInstance(1), std::logic_error);
+}
+
+TEST_F(WorkloadTest, CachedTotalsMatchInstanceSums)
+{
+    Workload wl("test");
+    wl.addModel(dnn::resnet50(), 2);
+    wl.addPeriodicModel(dnn::mobileNetV2(), 4, 1e6);
+    std::size_t layers = 0;
+    std::uint64_t macs = 0;
+    for (std::size_t i = 0; i < wl.numInstances(); ++i) {
+        layers += wl.modelOf(i).numLayers();
+        macs += wl.modelOf(i).totalMacs();
+    }
+    EXPECT_EQ(wl.totalLayers(), layers);
+    EXPECT_EQ(wl.totalMacs(), macs);
+}
+
 } // namespace
