@@ -1,18 +1,24 @@
 /**
  * @file
  * Real-time scenario benchmark: SLA outcomes (deadline miss counts,
- * p50/p99 frame latency) of FIFO vs. deadline-aware (EDF) scheduling
- * on the factory real-time scenarios, plus scheduler throughput on
- * periodic workloads and a timed SLA-objective partition sweep.
- * Emits machine-readable JSON (default BENCH_realtime.json) so
- * successive PRs can track both the SLA quality and the perf
- * trajectory.
+ * miss rates, dropped frames, p50/p99 frame latency) of every
+ * instance-selection policy — FIFO, EDF, LST, and LST with hopeless-
+ * frame dropping — on the factory real-time scenarios *and* their
+ * over-subscribed variants, plus scheduler throughput on periodic
+ * workloads and a timed SLA-objective partition sweep. Emits
+ * machine-readable JSON (default BENCH_realtime.json) so successive
+ * PRs can track scheduling quality (not just throughput).
+ *
+ * Latency percentiles are honest: a dropped or never-scheduled frame
+ * has unbounded latency, which serializes as -1.0 in the JSON (JSON
+ * has no Infinity literal).
  *
  * Usage:
  *   bench_realtime [--threads N] [--out FILE] [--small]
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -34,54 +40,91 @@ secondsSince(Clock::time_point start)
         .count();
 }
 
+/** JSON has no inf: unbounded latencies serialize as -1. */
+double
+jsonSafeMs(double cycles)
+{
+    return std::isfinite(cycles) ? cycles / 1e6 : -1.0;
+}
+
+struct PolicyResult
+{
+    std::string label;
+    std::size_t misses = 0;
+    std::size_t dropped = 0;
+    double missRate = 0.0;
+    double p50Ms = 0.0; //!< -1 when unbounded
+    double p99Ms = 0.0; //!< -1 when unbounded
+};
+
 struct ScenarioResult
 {
     std::string name;
     std::size_t frames = 0;
     std::size_t framesWithDeadline = 0;
-    std::size_t fifoMisses = 0;
-    std::size_t edfMisses = 0;
-    double fifoP99Ms = 0.0;
-    double edfP99Ms = 0.0;
-    double edfP50Ms = 0.0;
+    std::vector<PolicyResult> policies;
     double schedUsPerLayer = 0.0;
+
+    const PolicyResult &
+    byLabel(const char *label) const
+    {
+        for (const PolicyResult &p : policies) {
+            if (p.label == label)
+                return p;
+        }
+        util::panic("no policy result ", label);
+    }
 };
 
-sched::ScheduleSummary
-runOnce(cost::CostModel &model, const workload::Workload &wl,
-        const accel::Accelerator &acc, bool deadline_aware)
+struct PolicyConfig
 {
-    sched::SchedulerOptions opts;
-    opts.deadlineAware = deadline_aware;
-    sched::HeraldScheduler scheduler(model, opts);
-    sched::Schedule s = scheduler.schedule(wl, acc);
-    std::string issue = s.validate(wl, acc);
-    if (!issue.empty())
-        util::panic("invalid schedule on ", acc.name(), ": ", issue);
-    return s.finalize(wl, acc, model.energyModel());
-}
+    const char *label;
+    sched::Policy policy;
+    sched::DropPolicy drop;
+};
+
+const PolicyConfig kPolicies[] = {
+    {"fifo", sched::Policy::Fifo, sched::DropPolicy::None},
+    {"edf", sched::Policy::Edf, sched::DropPolicy::None},
+    {"lst", sched::Policy::Lst, sched::DropPolicy::None},
+    {"lst_drop", sched::Policy::Lst,
+     sched::DropPolicy::HopelessFrames},
+};
 
 ScenarioResult
 runScenario(const workload::Workload &wl,
             const accel::Accelerator &acc)
 {
     cost::CostModel model;
-    sched::ScheduleSummary fifo = runOnce(model, wl, acc, false);
-    sched::ScheduleSummary edf = runOnce(model, wl, acc, true);
-
     ScenarioResult r;
     r.name = wl.name();
-    r.frames = edf.sla.frames;
-    r.framesWithDeadline = edf.sla.framesWithDeadline;
-    r.fifoMisses = fifo.sla.deadlineMisses;
-    r.edfMisses = edf.sla.deadlineMisses;
-    r.fifoP99Ms = fifo.sla.p99LatencyCycles / 1e6;
-    r.edfP99Ms = edf.sla.p99LatencyCycles / 1e6;
-    r.edfP50Ms = edf.sla.p50LatencyCycles / 1e6;
+
+    for (const PolicyConfig &config : kPolicies) {
+        sched::SchedulerOptions opts;
+        opts.policy = config.policy;
+        opts.dropPolicy = config.drop;
+        sched::HeraldScheduler scheduler(model, opts);
+        sched::Schedule s = scheduler.schedule(wl, acc);
+        std::string issue = s.validate(wl, acc);
+        if (!issue.empty())
+            util::panic("invalid schedule on ", acc.name(), ": ",
+                        issue);
+        sched::SlaStats sla = s.computeSla(wl);
+        r.frames = sla.frames;
+        r.framesWithDeadline = sla.framesWithDeadline;
+        PolicyResult p;
+        p.label = config.label;
+        p.misses = sla.deadlineMisses;
+        p.dropped = sla.droppedFrames;
+        p.missRate = sla.missRate;
+        p.p50Ms = jsonSafeMs(sla.p50LatencyCycles);
+        p.p99Ms = jsonSafeMs(sla.p99LatencyCycles);
+        r.policies.push_back(std::move(p));
+    }
 
     // Scheduler throughput on the periodic workload, warm cache.
     sched::SchedulerOptions opts;
-    opts.deadlineAware = true;
+    opts.policy = sched::Policy::Edf;
     sched::HeraldScheduler scheduler(model, opts);
     scheduler.schedule(wl, acc);
     const int reps = 5;
@@ -136,25 +179,41 @@ main(int argc, char **argv)
         {chip.bwGBps / 2, chip.bwGBps / 2});
 
     const int frames60 = small ? 2 : 4;
+    const int overloaded60 = small ? 4 : 8;
     std::vector<ScenarioResult> results;
     results.push_back(
         runScenario(workload::arvrA60fps(frames60), acc));
     results.push_back(
         runScenario(workload::mixedTenantScenario(frames60), acc));
+    results.push_back(
+        runScenario(workload::arvrAOverloaded(overloaded60), acc));
+    results.push_back(
+        runScenario(workload::mixedTenantOverloaded(overloaded60),
+                    acc));
 
     std::printf("=== Real-time scenarios on %s (%s) ===\n",
                 acc.name().c_str(), small ? "small" : "full");
     for (const ScenarioResult &r : results) {
-        std::printf("%-24s %zu frames: FIFO %zu/%zu misses "
-                    "(p99 %.2f ms) | EDF %zu/%zu misses "
-                    "(p50 %.2f, p99 %.2f ms) | %.2f us/layer\n",
-                    r.name.c_str(), r.frames, r.fifoMisses,
-                    r.framesWithDeadline, r.fifoP99Ms, r.edfMisses,
-                    r.framesWithDeadline, r.edfP50Ms, r.edfP99Ms,
+        std::printf("%-24s %zu frames (%zu with deadline), "
+                    "%.2f us/layer\n",
+                    r.name.c_str(), r.frames, r.framesWithDeadline,
                     r.schedUsPerLayer);
+        for (const PolicyResult &p : r.policies) {
+            std::printf("    %-9s %2zu misses (rate %.2f, "
+                        "%zu dropped) p50 %s p99 %s\n",
+                        p.label.c_str(), p.misses, p.missRate,
+                        p.dropped,
+                        p.p50Ms < 0 ? "inf"
+                                    : std::to_string(p.p50Ms).c_str(),
+                        p.p99Ms < 0
+                            ? "inf"
+                            : std::to_string(p.p99Ms).c_str());
+        }
     }
 
-    // Timed SLA-objective partition sweep (perf trajectory).
+    // Timed SLA-objective partition sweep (perf trajectory) —
+    // hardware/policy co-design: LST + drop on the over-subscribed
+    // tenant mix.
     cost::CostModel model;
     dse::HeraldOptions dse_opts;
     dse_opts.partition.peGranularity =
@@ -162,28 +221,35 @@ main(int argc, char **argv)
     dse_opts.partition.bwGranularity =
         chip.bwGBps / (small ? 4 : 8);
     dse_opts.objective = dse::Objective::SlaViolations;
-    dse_opts.scheduler.deadlineAware = true;
+    dse_opts.scheduler.policy = sched::Policy::Lst;
+    dse_opts.scheduler.dropPolicy =
+        sched::DropPolicy::HopelessFrames;
     dse_opts.numThreads = threads;
     dse::Herald herald(model, dse_opts);
     workload::Workload sweep_wl =
-        workload::mixedTenantScenario(small ? 1 : 2);
+        workload::mixedTenantOverloaded(small ? 2 : 4);
     Clock::time_point start = Clock::now();
     dse::DseResult dse_result = herald.explore(
         sweep_wl, chip,
         {dataflow::DataflowStyle::NVDLA,
          dataflow::DataflowStyle::ShiDiannao});
     double sweep_seconds = secondsSince(start);
-    std::printf("SLA sweep: %zu candidates in %.3f s, best %s "
-                "(%zu misses)\n",
+    std::printf("SLA sweep (LST+drop): %zu candidates in %.3f s, "
+                "best %s (%zu misses, %zu dropped)\n",
                 dse_result.points.size(), sweep_seconds,
                 dse_result.best().accelerator.name().c_str(),
-                dse_result.best().summary.sla.deadlineMisses);
+                dse_result.best().summary.sla.deadlineMisses,
+                dse_result.best().summary.sla.droppedFrames);
 
     std::fprintf(json, "{\n  \"chip\": \"%s\",\n  \"grid\": \"%s\","
                        "\n  \"scenarios\": [\n",
                  chip.name.c_str(), small ? "small" : "full");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ScenarioResult &r = results[i];
+        // Legacy flat fields ride along for trajectory continuity;
+        // the per-policy columns are the real payload.
+        const PolicyResult &fifo = r.byLabel("fifo");
+        const PolicyResult &edf = r.byLabel("edf");
         std::fprintf(
             json,
             "    {\"name\": \"%s\", \"frames\": %zu, "
@@ -191,20 +257,35 @@ main(int argc, char **argv)
             "\"fifo_misses\": %zu, \"edf_misses\": %zu, "
             "\"fifo_p99_ms\": %.4f, \"edf_p50_ms\": %.4f, "
             "\"edf_p99_ms\": %.4f, "
-            "\"scheduler_us_per_layer\": %.3f}%s\n",
+            "\"scheduler_us_per_layer\": %.3f,\n"
+            "     \"policies\": [\n",
             r.name.c_str(), r.frames, r.framesWithDeadline,
-            r.fifoMisses, r.edfMisses, r.fifoP99Ms, r.edfP50Ms,
-            r.edfP99Ms, r.schedUsPerLayer,
-            i + 1 < results.size() ? "," : "");
+            fifo.misses, edf.misses, fifo.p99Ms, edf.p50Ms,
+            edf.p99Ms, r.schedUsPerLayer);
+        for (std::size_t k = 0; k < r.policies.size(); ++k) {
+            const PolicyResult &p = r.policies[k];
+            std::fprintf(
+                json,
+                "       {\"policy\": \"%s\", \"misses\": %zu, "
+                "\"miss_rate\": %.4f, \"dropped\": %zu, "
+                "\"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                p.label.c_str(), p.misses, p.missRate, p.dropped,
+                p.p50Ms, p.p99Ms,
+                k + 1 < r.policies.size() ? "," : "");
+        }
+        std::fprintf(json, "     ]}%s\n",
+                     i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json,
                  "  ],\n"
                  "  \"sla_sweep_candidates\": %zu,\n"
                  "  \"sla_sweep_seconds\": %.6f,\n"
-                 "  \"sla_sweep_best_misses\": %zu\n"
+                 "  \"sla_sweep_best_misses\": %zu,\n"
+                 "  \"sla_sweep_best_dropped\": %zu\n"
                  "}\n",
                  dse_result.points.size(), sweep_seconds,
-                 dse_result.best().summary.sla.deadlineMisses);
+                 dse_result.best().summary.sla.deadlineMisses,
+                 dse_result.best().summary.sla.droppedFrames);
     std::fclose(json);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;

@@ -65,8 +65,11 @@ enum class Objective
     /**
      * Deadline-miss count first, whole-workload latency as the
      * tie-break (encoded so any miss dominates any latency delta).
-     * Meaningful on workloads with deadlines; pair it with
-     * scheduler.deadlineAware.
+     * Dropped frames count as misses, so admission control is
+     * co-designed too. Meaningful on workloads with deadlines; pair
+     * it with a deadline-driven scheduler.policy (Policy::Edf or
+     * Policy::Lst, optionally DropPolicy::HopelessFrames) so the
+     * sweep searches hardware x policy together.
      */
     SlaViolations,
 };

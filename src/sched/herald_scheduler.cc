@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
-#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -71,7 +71,6 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     const std::vector<workload::Instance> &instances = wl.instances();
     const std::size_t total_layers = wl.totalLayers();
     schedule.reserve(total_layers);
-    const bool edf = opts.deadlineAware;
     const bool breadth = opts.ordering == Ordering::BreadthFirst;
 
     // Per-instance state, hoisted out of the loop once.
@@ -86,6 +85,35 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         row_base[i] = table.rowOf(wl.uniqueIdOfInstance(i), 0);
         ready_time[i] = instances[i].arrivalCycle;
     }
+
+    std::size_t remaining = total_layers;
+
+    // Over-subscription admission control: a frame whose deadline
+    // cannot be met even by running every layer back to back on its
+    // best sub-accelerator starting at arrival is provably hopeless
+    // under *any* schedule (starts cannot precede the arrival, the
+    // layer chain is serial, and each layer needs at least its
+    // best-case cycles) — shed it up front instead of letting it
+    // steal cycles from frames that can still make their deadlines.
+    if (opts.dropPolicy == DropPolicy::HopelessFrames) {
+        for (std::size_t i = 0; i < n_inst; ++i) {
+            const workload::Instance &inst = instances[i];
+            if (!inst.hasDeadline())
+                continue;
+            double optimistic = table.remainingCycles(
+                wl.uniqueIdOfInstance(i), 0);
+            if (inst.deadlineCycle - inst.arrivalCycle - optimistic <
+                -kEps) {
+                schedule.markDropped(i);
+                remaining -= layers_of[i];
+                layers_of[i] = 0; // pending() is now always false
+            }
+        }
+    }
+
+    const std::unique_ptr<SelectionPolicy> policy =
+        makeSelectionPolicy(opts.effectivePolicy(), wl, table,
+                            next_layer);
 
     std::vector<double> acc_avail(n_acc, 0.0);
     std::vector<std::size_t> acc_last_instance(n_acc, SIZE_MAX);
@@ -111,61 +139,25 @@ HeraldScheduler::schedule(const workload::Workload &wl,
                   return a < b;
               });
     std::size_t cursor = 0;
-    // Released instances with pending layers: by index for FIFO, by
-    // (deadline, index) for EDF.
-    std::set<std::size_t> ready_fifo;
-    std::set<std::pair<double, std::size_t>> ready_edf;
-
-    std::size_t remaining = total_layers;
     std::size_t rotate = 0; // breadth-first round-robin cursor
     double release_frontier = 0.0;
 
     auto pending = [&](std::size_t idx) {
         return next_layer[idx] < layers_of[idx];
     };
+    // Released instances with pending layers live in the policy's
+    // (key, index)-ordered ready set; selection is the policy's
+    // ordered-set lookup with the base order breaking ties —
+    // identical outcomes to the reference scan for FIFO/EDF.
     auto release_up_to = [&](double frontier) {
         while (cursor < n_inst) {
             std::size_t idx = arrival_sorted[cursor];
             if (instances[idx].arrivalCycle > frontier + kEps)
                 break;
             ++cursor;
-            if (pending(idx)) {
-                if (edf)
-                    ready_edf.emplace(instances[idx].deadlineCycle,
-                                      idx);
-                else
-                    ready_fifo.insert(idx);
-            }
+            if (pending(idx))
+                policy->release(idx);
         }
-    };
-
-    // Pick from the released set: FIFO takes the first pending
-    // instance in the base order (round-robin from the rotate cursor,
-    // or instance order); EDF takes the nearest absolute deadline
-    // with the base order breaking ties. Identical outcomes to the
-    // reference scan, found by ordered-set lookup.
-    auto select_ready = [&]() -> std::size_t {
-        if (edf) {
-            if (ready_edf.empty())
-                return SIZE_MAX;
-            auto first = ready_edf.begin();
-            if (breadth) {
-                auto it = ready_edf.lower_bound(
-                    std::make_pair(first->first, rotate));
-                if (it != ready_edf.end() &&
-                    it->first == first->first)
-                    return it->second;
-            }
-            return first->second;
-        }
-        if (ready_fifo.empty())
-            return SIZE_MAX;
-        if (breadth) {
-            auto it = ready_fifo.lower_bound(rotate);
-            if (it != ready_fifo.end())
-                return *it;
-        }
-        return *ready_fifo.begin();
     };
 
     // Nothing-has-arrived fallback, slow path: the reference
@@ -185,19 +177,19 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 
         std::size_t inst = SIZE_MAX;
         double best_arrival = workload::kNoDeadline;
-        double best_deadline = workload::kNoDeadline;
+        double best_key = workload::kNoDeadline;
         auto consider = [&](std::size_t cand) {
             const workload::Instance &ci = instances[cand];
+            double key = policy->keyOf(cand);
             bool better =
                 inst == SIZE_MAX ||
                 ci.arrivalCycle < best_arrival - kEps ||
-                (edf &&
-                 std::abs(ci.arrivalCycle - best_arrival) <= kEps &&
-                 ci.deadlineCycle < best_deadline);
+                (std::abs(ci.arrivalCycle - best_arrival) <= kEps &&
+                 key < best_key);
             if (better) {
                 inst = cand;
                 best_arrival = ci.arrivalCycle;
-                best_deadline = ci.deadlineCycle;
+                best_key = key;
             }
         };
         auto split = std::lower_bound(pending_future.begin(),
@@ -239,7 +231,8 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         }
         if (near_tie)
             return scan_future_base_order();
-        // Rotated visit order over the ascending run.
+        // Rotated visit order over the ascending run; the policy
+        // keeps the lowest key (pure base order for FIFO).
         std::size_t start_pos = 0;
         if (breadth) {
             start_pos = static_cast<std::size_t>(
@@ -248,26 +241,14 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             if (start_pos == run.size())
                 start_pos = 0;
         }
-        if (!edf)
-            return run[start_pos];
-        std::size_t best = SIZE_MAX;
-        double best_deadline = workload::kNoDeadline;
-        for (std::size_t k = 0; k < run.size(); ++k) {
-            std::size_t cand = run[(start_pos + k) % run.size()];
-            double deadline = instances[cand].deadlineCycle;
-            if (best == SIZE_MAX || deadline < best_deadline) {
-                best = cand;
-                best_deadline = deadline;
-            }
-        }
-        return best;
+        return policy->selectFromRun(run, start_pos);
     };
 
     release_up_to(release_frontier);
 
     while (remaining > 0) {
         // --- Layer ordering heuristic: pick the next instance ---
-        std::size_t inst = select_ready();
+        std::size_t inst = policy->selectReady(breadth, rotate);
         if (inst == SIZE_MAX)
             inst = select_future();
         if (inst == SIZE_MAX)
@@ -310,10 +291,12 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         // --- Dependence + memory constrained start time ---
         const accel::StyledLayerCost &sc = table.cost(row, chosen);
         double dur = sc.cost.cycles;
+        double context_penalty = 0.0;
         if (opts.contextChangeCycles > 0.0 &&
             acc_last_instance[chosen] != SIZE_MAX &&
             acc_last_instance[chosen] != inst) {
-            dur += opts.contextChangeCycles;
+            context_penalty = opts.contextChangeCycles;
+            dur += context_penalty;
         }
         double start =
             std::max(ready_time[inst], acc_avail[chosen]);
@@ -332,6 +315,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         entry.endCycle = start + dur;
         entry.energyUnits = sc.cost.energyUnits;
         entry.l2FootprintBytes = sc.cost.l2FootprintBytes;
+        entry.contextPenaltyCycles = context_penalty;
         schedule.add(entry);
 
         ready_time[inst] = entry.endCycle;
@@ -343,16 +327,16 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         --remaining;
         rotate = (inst + 1) % n_inst;
 
-        if (!pending(inst)) {
+        if (pending(inst)) {
+            // Progress may change the policy's key (LST slack).
+            policy->onLayerScheduled(inst);
+        } else {
             // Exhausted: drop it from the ready set. (A one-layer
             // model exhausted by the fallback before its release was
-            // never inserted; pending() checks keep the release
-            // sweep and fallback scans from resurrecting it.)
-            if (edf)
-                ready_edf.erase(std::make_pair(
-                    instances[inst].deadlineCycle, inst));
-            else
-                ready_fifo.erase(inst);
+            // never inserted — retire() is a no-op then, and
+            // pending() checks keep the release sweep and fallback
+            // scans from resurrecting it.)
+            policy->retire(inst);
         }
         release_up_to(release_frontier);
     }
@@ -514,6 +498,54 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                             continue; // does not fit in the gap
                         if (cand.startCycle <= earliest + kEps)
                             continue; // no improvement
+                        // Context-change penalties are baked into
+                        // entry durations at dispatch time from the
+                        // then-current sub-accelerator adjacency. A
+                        // reorder that changed the adjacency would
+                        // leave those durations stale (penalty
+                        // charged where no switch remains, or a new
+                        // switch uncharged), so with a non-zero
+                        // penalty the move is only taken when it
+                        // provably keeps every affected entry's
+                        // penalty intact: the moved entry against
+                        // its new predecessor, the entry it now
+                        // precedes, and the entry left behind at its
+                        // old slot. (The pull pass never reorders,
+                        // so this is the only adjacency hazard;
+                        // checkContextPenalties() asserts the
+                        // invariant after the passes.)
+                        if (opts.contextChangeCycles > 0.0 &&
+                            j != pos) {
+                            const double P = opts.contextChangeCycles;
+                            auto pen = [&](const ScheduledLayer &e,
+                                           const ScheduledLayer
+                                               *prev) {
+                                return prev && prev->instanceIdx !=
+                                                   e.instanceIdx
+                                           ? P
+                                           : 0.0;
+                            };
+                            const ScheduledLayer *new_prev =
+                                pos == 0 ? nullptr
+                                         : &entries[vec[pos - 1]];
+                            const ScheduledLayer &displaced =
+                                entries[vec[pos]];
+                            if (pen(cand, new_prev) !=
+                                    cand.contextPenaltyCycles ||
+                                pen(displaced, &cand) !=
+                                    displaced.contextPenaltyCycles) {
+                                continue;
+                            }
+                            if (j + 1 < vec.size()) {
+                                const ScheduledLayer &orphan =
+                                    entries[vec[j + 1]];
+                                if (pen(orphan,
+                                        &entries[vec[j - 1]]) !=
+                                    orphan.contextPenaltyCycles) {
+                                    continue;
+                                }
+                            }
+                        }
                         if (!tracker.feasible(
                                 earliest, dur,
                                 static_cast<double>(
@@ -542,6 +574,13 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
 
         if (!changed)
             break;
+    }
+
+    if (opts.contextChangeCycles > 0.0) {
+        std::string stale = checkContextPenalties(
+            schedule, opts.contextChangeCycles);
+        if (!stale.empty())
+            util::panic("postProcessIdleTime: ", stale);
     }
 }
 

@@ -35,6 +35,7 @@
 #include "accel/rda.hh"
 #include "cost/cost_model.hh"
 #include "sched/metric.hh"
+#include "sched/policy.hh"
 #include "sched/schedule.hh"
 #include "workload/workload.hh"
 
@@ -53,11 +54,14 @@ enum class Ordering
 // Real-time semantics: every workload instance carries an
 // arrivalCycle (no layer of the instance may start earlier) and an
 // optional absolute deadlineCycle. The scheduler always respects
-// arrivals; when SchedulerOptions::deadlineAware is set, instance
-// selection additionally prefers the pending instance with the
-// nearest deadline (EDF), falling back to the configured Ordering
-// among equal deadlines — so on deadline-free workloads the
-// deadline-aware scheduler is exactly the baseline scheduler.
+// arrivals; SchedulerOptions::policy chooses how released instances
+// compete for dispatch (FIFO base order, earliest-deadline, or
+// least-slack — see sched/policy.hh), and every deadline-driven
+// policy degenerates to the base ordering on deadline-free
+// workloads. SchedulerOptions::dropPolicy optionally sheds frames
+// that are provably hopeless at release instead of letting them
+// poison live frames; dropped frames are recorded on the Schedule
+// and counted as deadline misses.
 
 const char *toString(Ordering ordering);
 
@@ -68,11 +72,39 @@ struct SchedulerOptions
     Ordering ordering = Ordering::BreadthFirst;
 
     /**
-     * EDF-style instance selection: among instances with pending
-     * layers, prefer the nearest absolute deadline; ties (including
-     * all-deadline-free workloads) resolve via @c ordering.
+     * Instance-selection policy among released instances: FIFO (base
+     * order), EDF (nearest absolute deadline) or LST (least slack,
+     * deadline minus optimistic remaining work). Ties — including
+     * every instance of a deadline-free workload — resolve via
+     * @c ordering. Read through effectivePolicy(), which honours the
+     * deprecated @c deadlineAware alias.
+     */
+    Policy policy = Policy::Fifo;
+
+    /**
+     * @deprecated Alias kept for source compatibility: setting it
+     * while @c policy is Policy::Fifo selects Policy::Edf. Use
+     * @c policy directly in new code.
      */
     bool deadlineAware = false;
+
+    /**
+     * Over-subscription admission control: DropPolicy::HopelessFrames
+     * sheds frames whose deadline cannot be met even when running
+     * every remaining layer on its best sub-accelerator starting at
+     * arrival (see sched/policy.hh). Dropped frames appear in
+     * Schedule::droppedInstances() and SlaStats::droppedFrames and
+     * count as deadline misses.
+     */
+    DropPolicy dropPolicy = DropPolicy::None;
+
+    /** The policy after resolving the deprecated alias. */
+    Policy
+    effectivePolicy() const
+    {
+        return policy == Policy::Fifo && deadlineAware ? Policy::Edf
+                                                       : policy;
+    }
 
     /** Enable the load-balancing feedback loop. */
     bool loadBalance = true;

@@ -27,6 +27,8 @@ LayerCostTable::build(cost::CostModel &model,
     table.entries.resize(rows * table.nAcc);
     table.metrics.resize(rows * table.nAcc);
     table.orders.resize(rows * table.nAcc);
+    table.minCyc.resize(rows, 0.0);
+    table.remSuffix.resize(rows + n_models, 0.0);
     if (rows == 0 || table.nAcc == 0)
         return table;
 
@@ -49,13 +51,18 @@ LayerCostTable::build(cost::CostModel &model,
     auto fill_row = [&](std::size_t row) {
         const dnn::Layer &layer = *layer_of[row];
         const std::size_t base = row * table.nAcc;
+        double min_cycles = 0.0;
         for (std::size_t a = 0; a < table.nAcc; ++a) {
             table.entries[base + a] = accel::evaluateOnSub(
                 model, acc.subAccs()[a], res[a], layer, rda);
             table.metrics[base + a] =
                 metricValue(metric, table.entries[base + a].cost);
             table.orders[base + a] = a;
+            double cycles = table.entries[base + a].cost.cycles;
+            if (a == 0 || cycles < min_cycles)
+                min_cycles = cycles;
         }
+        table.minCyc[row] = min_cycles;
         std::sort(table.orders.begin() +
                       static_cast<std::ptrdiff_t>(base),
                   table.orders.begin() +
@@ -78,6 +85,19 @@ LayerCostTable::build(cost::CostModel &model,
     } else {
         for (std::size_t row = 0; row < rows; ++row)
             fill_row(row);
+    }
+
+    // Per-model optimistic remaining-work suffix sums (serial: a
+    // left-to-right fold over each model's rows, after the fill).
+    for (std::size_t u = 0; u < n_models; ++u) {
+        const std::size_t n_layers = wl.uniqueModel(u).numLayers();
+        const std::size_t seg = table.modelOffset[u] + u;
+        table.remSuffix[seg + n_layers] = 0.0;
+        for (std::size_t l = n_layers; l-- > 0;) {
+            table.remSuffix[seg + l] =
+                table.remSuffix[seg + l + 1] +
+                table.minCyc[table.modelOffset[u] + l];
+        }
     }
     return table;
 }

@@ -97,6 +97,26 @@ class LayerCostTable
         return &orders[row * nAcc];
     }
 
+    /** Optimistic (minimum over sub-accs) cycles of row @p row. */
+    double minCycles(std::size_t row) const { return minCyc[row]; }
+
+    /**
+     * Optimistic remaining work of unique model @p uid from layer
+     * @p layer (inclusive) to the last layer: the sum of each
+     * remaining layer's best-case (minimum over sub-accelerators)
+     * cycles — a lower bound on the residual serial execution of the
+     * dependence chain on any schedule. @p layer == numLayers()
+     * returns 0. Slack-aware instance selection (LST) and the
+     * hopeless-frame drop test are built on this.
+     */
+    double
+    remainingCycles(std::size_t uid, std::size_t layer) const
+    {
+        // Per-model segments carry a trailing 0 sentinel, hence the
+        // "+ uid" shift over the shared row offsets.
+        return remSuffix[modelOffset[uid] + uid + layer];
+    }
+
     /**
      * Below this entry count the prefill always runs serially:
      * unique-layer tables are small, warm-cache fills take
@@ -112,6 +132,9 @@ class LayerCostTable
     std::vector<accel::StyledLayerCost> entries; //!< row-major
     std::vector<double> metrics;                 //!< row-major
     std::vector<std::size_t> orders;             //!< row-major
+    std::vector<double> minCyc;      //!< per row, min over sub-accs
+    /** Per-model min-cycle suffix sums, 0-terminated per segment. */
+    std::vector<double> remSuffix;
 };
 
 } // namespace herald::sched

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Earliest-deadline-first instance selection: the key is the absolute
+ * deadline (kNoDeadline = +inf when none, so deadline-free workloads
+ * degenerate to FIFO). Bit-identical to the deadline-aware reference
+ * scheduler — the key never changes, so an instance keeps its ready-
+ * set position for its whole life.
+ */
+
+#include "sched/policy.hh"
+
+namespace herald::sched
+{
+
+EdfPolicy::EdfPolicy(const workload::Workload &wl)
+    : SelectionPolicy(wl.numInstances()), instances(wl.instances())
+{
+}
+
+double
+EdfPolicy::keyOf(std::size_t idx) const
+{
+    return instances[idx].deadlineCycle;
+}
+
+} // namespace herald::sched

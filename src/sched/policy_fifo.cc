@@ -1,0 +1,26 @@
+/**
+ * @file
+ * FIFO instance selection: every instance shares one constant key, so
+ * the shared tie-break rules (base ordering, round-robin rotate under
+ * breadth-first) decide everything — exactly the pre-policy
+ * scheduler's behaviour, bit-identical to sched::referenceSchedule().
+ */
+
+#include "sched/policy.hh"
+
+namespace herald::sched
+{
+
+FifoPolicy::FifoPolicy(const workload::Workload &wl)
+    : SelectionPolicy(wl.numInstances())
+{
+}
+
+double
+FifoPolicy::keyOf(std::size_t idx) const
+{
+    (void)idx;
+    return 0.0;
+}
+
+} // namespace herald::sched

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Least-slack-time instance selection. A frame's slack at time t is
+ *
+ *     deadline - t - remaining_work
+ *
+ * and every released instance shares the same t, so ordering by slack
+ * is ordering by (deadline - remaining_work) — a time-independent key
+ * that only changes when one of the instance's layers is scheduled.
+ * Remaining work is the optimistic best-sub-accelerator suffix sum
+ * from the LayerCostTable (LayerCostTable::remainingCycles): the
+ * cheapest possible serial execution of the not-yet-scheduled layers.
+ *
+ * Versus EDF, LST pulls forward frames that are *about to become
+ * hopeless* — a heavy frame with a late deadline but little slack
+ * beats a light frame whose deadline is nearer but trivially
+ * reachable. On over-subscribed scenarios that cuts misses; on
+ * deadline-free workloads every key is +inf and LST is bit-identical
+ * to FIFO.
+ */
+
+#include "sched/policy.hh"
+
+#include "sched/layer_cost_table.hh"
+
+namespace herald::sched
+{
+
+LstPolicy::LstPolicy(const workload::Workload &wl,
+                     const LayerCostTable &table,
+                     const std::vector<std::size_t> &next_layer)
+    : SelectionPolicy(wl.numInstances()), instances(wl.instances()),
+      table(table), nextLayer(next_layer)
+{
+    uidOf.resize(wl.numInstances());
+    for (std::size_t i = 0; i < wl.numInstances(); ++i)
+        uidOf[i] = wl.uniqueIdOfInstance(i);
+}
+
+double
+LstPolicy::keyOf(std::size_t idx) const
+{
+    const double deadline = instances[idx].deadlineCycle;
+    if (deadline == workload::kNoDeadline)
+        return workload::kNoDeadline; // inf - finite is inf anyway
+    return deadline - table.remainingCycles(uidOf[idx],
+                                            nextLayer[idx]);
+}
+
+void
+LstPolicy::onLayerScheduled(std::size_t idx)
+{
+    rekey(idx); // remaining work shrank; slack key grew
+}
+
+} // namespace herald::sched

@@ -237,6 +237,18 @@ referenceSchedule(cost::CostModel &model,
                   const workload::Workload &wl,
                   const accel::Accelerator &acc)
 {
+    // The oracle predates the policy subsystem: it understands the
+    // FIFO/EDF pair the production scheduler must stay bit-identical
+    // to, and nothing else. LST and drop policies are property-tested
+    // against invariants instead of against this reference.
+    if (opts.effectivePolicy() == Policy::Lst)
+        util::panic("referenceSchedule: LST is not implemented by "
+                    "the reference oracle");
+    if (opts.dropPolicy != DropPolicy::None)
+        util::panic("referenceSchedule: drop policies are not "
+                    "implemented by the reference oracle");
+    const bool deadline_aware = opts.effectivePolicy() == Policy::Edf;
+
     const std::size_t n_inst = wl.numInstances();
     const std::size_t n_acc = acc.numSubAccs();
     Schedule schedule(n_acc);
@@ -278,7 +290,7 @@ referenceSchedule(cost::CostModel &model,
                 inst = cand;
                 best_deadline =
                     wl.instances()[cand].deadlineCycle;
-                if (!opts.deadlineAware)
+                if (!deadline_aware)
                     break;
                 continue;
             }
@@ -299,7 +311,7 @@ referenceSchedule(cost::CostModel &model,
                 bool better =
                     inst == SIZE_MAX ||
                     ci.arrivalCycle < best_arrival - kEps ||
-                    (opts.deadlineAware &&
+                    (deadline_aware &&
                      std::abs(ci.arrivalCycle - best_arrival) <=
                          kEps &&
                      ci.deadlineCycle < best_deadline);
@@ -360,10 +372,12 @@ referenceSchedule(cost::CostModel &model,
 
         const accel::StyledLayerCost &sc = costs[chosen];
         double dur = sc.cost.cycles;
+        double context_penalty = 0.0;
         if (opts.contextChangeCycles > 0.0 &&
             acc_last_instance[chosen] != SIZE_MAX &&
             acc_last_instance[chosen] != inst) {
-            dur += opts.contextChangeCycles;
+            context_penalty = opts.contextChangeCycles;
+            dur += context_penalty;
         }
         double start =
             std::max(ready_time[inst], acc_avail[chosen]);
@@ -382,6 +396,7 @@ referenceSchedule(cost::CostModel &model,
         entry.endCycle = start + dur;
         entry.energyUnits = sc.cost.energyUnits;
         entry.l2FootprintBytes = sc.cost.l2FootprintBytes;
+        entry.contextPenaltyCycles = context_penalty;
         schedule.add(entry);
 
         ready_time[inst] = entry.endCycle;
@@ -497,6 +512,44 @@ referencePostProcess(Schedule &schedule,
                             continue;
                         if (cand.startCycle <= earliest + kEps)
                             continue;
+                        // Mirror of the production scheduler's
+                        // stale-penalty guard: with a non-zero
+                        // context-change penalty, only take a
+                        // reordering move when it keeps every
+                        // affected entry's baked-in penalty
+                        // consistent with the new adjacency.
+                        if (opts.contextChangeCycles > 0.0 &&
+                            j != pos) {
+                            const double P = opts.contextChangeCycles;
+                            auto pen = [&](const ScheduledLayer &e,
+                                           const ScheduledLayer
+                                               *prev) {
+                                return prev && prev->instanceIdx !=
+                                                   e.instanceIdx
+                                           ? P
+                                           : 0.0;
+                            };
+                            const ScheduledLayer *new_prev =
+                                pos == 0 ? nullptr
+                                         : &entries[vec[pos - 1]];
+                            const ScheduledLayer &displaced =
+                                entries[vec[pos]];
+                            if (pen(cand, new_prev) !=
+                                    cand.contextPenaltyCycles ||
+                                pen(displaced, &cand) !=
+                                    displaced.contextPenaltyCycles) {
+                                continue;
+                            }
+                            if (j + 1 < vec.size()) {
+                                const ScheduledLayer &orphan =
+                                    entries[vec[j + 1]];
+                                if (pen(orphan,
+                                        &entries[vec[j - 1]]) !=
+                                    orphan.contextPenaltyCycles) {
+                                    continue;
+                                }
+                            }
+                        }
                         if (!tracker.feasible(
                                 earliest, dur,
                                 static_cast<double>(
@@ -517,6 +570,13 @@ referencePostProcess(Schedule &schedule,
 
         if (!changed)
             break;
+    }
+
+    if (opts.contextChangeCycles > 0.0) {
+        std::string stale = checkContextPenalties(
+            schedule, opts.contextChangeCycles);
+        if (!stale.empty())
+            util::panic("referencePostProcess: ", stale);
     }
 }
 

@@ -23,13 +23,16 @@ operator==(const ScheduledLayer &a, const ScheduledLayer &b)
            a.style == b.style && a.startCycle == b.startCycle &&
            a.endCycle == b.endCycle &&
            a.energyUnits == b.energyUnits &&
-           a.l2FootprintBytes == b.l2FootprintBytes;
+           a.l2FootprintBytes == b.l2FootprintBytes &&
+           a.contextPenaltyCycles == b.contextPenaltyCycles;
 }
 
 bool
 Schedule::identicalTo(const Schedule &other) const
 {
     if (numAccs != other.numAccs || list.size() != other.list.size())
+        return false;
+    if (droppedList != other.droppedList)
         return false;
     for (std::size_t i = 0; i < list.size(); ++i) {
         if (list[i] != other.list[i])
@@ -46,6 +49,25 @@ Schedule::add(ScheduledLayer entry)
     if (entry.endCycle < entry.startCycle)
         util::panic("schedule: negative-duration entry");
     list.push_back(entry);
+}
+
+void
+Schedule::markDropped(std::size_t instance_idx)
+{
+    if (!droppedList.empty() && droppedList.back() >= instance_idx) {
+        if (isDropped(instance_idx))
+            return;
+        util::panic("markDropped: instances must be dropped in "
+                    "ascending order");
+    }
+    droppedList.push_back(instance_idx);
+}
+
+bool
+Schedule::isDropped(std::size_t instance_idx) const
+{
+    return std::binary_search(droppedList.begin(), droppedList.end(),
+                              instance_idx);
 }
 
 double
@@ -137,25 +159,30 @@ Schedule::computeSla(const workload::Workload &wl) const
         sla.instanceIdx = i;
         sla.arrivalCycle = inst.arrivalCycle;
         sla.deadlineCycle = inst.deadlineCycle;
-        sla.scheduled = completion[i] >= 0.0;
+        sla.dropped = isDropped(i);
+        sla.scheduled = !sla.dropped && completion[i] >= 0.0;
         if (inst.hasDeadline())
             ++stats.framesWithDeadline;
+        if (sla.dropped)
+            ++stats.droppedFrames;
         if (sla.scheduled) {
             sla.completionCycle = completion[i];
             sla.latencyCycles = completion[i] - inst.arrivalCycle;
             sla.missed = inst.hasDeadline() &&
                          completion[i] > inst.deadlineCycle + kEps;
-            stats.maxLatencyCycles = std::max(
-                stats.maxLatencyCycles, sla.latencyCycles);
-            latencies.push_back(sla.latencyCycles);
         } else {
-            // Never executed: a frame that does not run cannot make
-            // its deadline. Latency is undefined and excluded from
-            // the percentiles.
+            // Dropped or never executed: the frame never completes,
+            // so it cannot make its deadline and its latency is
+            // unbounded. It still counts in the percentiles as +inf
+            // — excluding it would let an over-subscribed run that
+            // sheds half its frames report a rosy p50/p99.
             sla.completionCycle = workload::kNoDeadline;
             sla.latencyCycles = workload::kNoDeadline;
             sla.missed = inst.hasDeadline();
         }
+        stats.maxLatencyCycles =
+            std::max(stats.maxLatencyCycles, sla.latencyCycles);
+        latencies.push_back(sla.latencyCycles);
         if (sla.missed)
             ++stats.deadlineMisses;
         stats.perInstance.push_back(sla);
@@ -166,7 +193,8 @@ Schedule::computeSla(const workload::Workload &wl) const
             static_cast<double>(stats.framesWithDeadline);
     }
 
-    // Nearest-rank percentiles over scheduled-frame latencies.
+    // Nearest-rank percentiles over *all* frame latencies (+inf for
+    // frames that never ran).
     if (!latencies.empty()) {
         std::sort(latencies.begin(), latencies.end());
         auto rank = [&](double q) {
@@ -194,13 +222,29 @@ Schedule::validate(const workload::Workload &wl,
         return err.str();
     }
 
-    // Completeness: every (instance, layer) exactly once.
+    // Dropped frames are intentionally absent: none of their layers
+    // may appear, and completeness is judged on the remainder.
+    std::size_t dropped_layers = 0;
+    for (std::size_t d : droppedList) {
+        if (d >= wl.numInstances()) {
+            err << "dropped instance " << d << " out of range";
+            return err.str();
+        }
+        dropped_layers += wl.modelOf(d).numLayers();
+    }
+
+    // Completeness: every non-dropped (instance, layer) exactly once.
     std::map<std::pair<std::size_t, std::size_t>, const ScheduledLayer *>
         seen;
     for (const ScheduledLayer &e : list) {
         if (e.instanceIdx >= wl.numInstances()) {
             err << "entry references instance " << e.instanceIdx
                 << " out of range";
+            return err.str();
+        }
+        if (isDropped(e.instanceIdx)) {
+            err << "dropped instance " << e.instanceIdx
+                << " has a scheduled layer";
             return err.str();
         }
         const dnn::Model &model = wl.modelOf(e.instanceIdx);
@@ -217,9 +261,10 @@ Schedule::validate(const workload::Workload &wl,
         }
         seen[key] = &e;
     }
-    if (seen.size() != wl.totalLayers()) {
+    if (seen.size() != wl.totalLayers() - dropped_layers) {
         err << "schedule has " << seen.size() << " layers, workload has "
-            << wl.totalLayers();
+            << wl.totalLayers() - dropped_layers
+            << " after " << droppedList.size() << " dropped frames";
         return err.str();
     }
 
@@ -336,6 +381,41 @@ Schedule::peakOccupancyBytes() const
         peak = std::max(peak, occupancy);
     }
     return static_cast<std::uint64_t>(peak);
+}
+
+std::string
+checkContextPenalties(const Schedule &schedule,
+                      double context_change_cycles)
+{
+    const std::vector<ScheduledLayer> &entries = schedule.entries();
+    for (std::size_t a = 0; a < schedule.numSubAccs(); ++a) {
+        std::vector<const ScheduledLayer *> on_acc;
+        for (const ScheduledLayer &e : entries) {
+            if (e.accIdx == a)
+                on_acc.push_back(&e);
+        }
+        std::sort(on_acc.begin(), on_acc.end(),
+                  [](const ScheduledLayer *x, const ScheduledLayer *y) {
+                      return x->startCycle < y->startCycle;
+                  });
+        for (std::size_t i = 0; i < on_acc.size(); ++i) {
+            const ScheduledLayer &e = *on_acc[i];
+            double expected =
+                i > 0 && on_acc[i - 1]->instanceIdx != e.instanceIdx
+                    ? context_change_cycles
+                    : 0.0;
+            if (e.contextPenaltyCycles != expected) {
+                std::ostringstream err;
+                err << "stale context penalty on sub-accelerator "
+                    << a << ": instance " << e.instanceIdx
+                    << " layer " << e.layerIdx << " carries "
+                    << e.contextPenaltyCycles << " cycles, adjacency "
+                    << "requires " << expected;
+                return err.str();
+            }
+        }
+    }
+    return "";
 }
 
 std::string

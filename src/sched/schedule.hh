@@ -32,6 +32,15 @@ struct ScheduledLayer
     double endCycle = 0.0;
     double energyUnits = 0.0;    //!< dynamic energy (MAC units)
     std::uint64_t l2FootprintBytes = 0; //!< staging occupancy
+    /**
+     * Context-change share of the duration: the penalty charged
+     * because the previous entry on this sub-accelerator (in time
+     * order) belongs to a different instance — 0 when no penalty
+     * applies. duration() - contextPenaltyCycles is the pure layer
+     * cost; post-processing keeps this consistent with the actual
+     * adjacency when it reorders entries.
+     */
+    double contextPenaltyCycles = 0.0;
 
     double duration() const { return endCycle - startCycle; }
 };
@@ -57,18 +66,29 @@ struct InstanceSla
     double deadlineCycle = 0.0;   //!< absolute; kNoDeadline if none
     bool scheduled = false; //!< any layer present in the schedule
     bool missed = false;    //!< completion > deadline, or never run
+    bool dropped = false;   //!< rejected by the drop policy
 };
 
-/** SLA metrics of a schedule against a real-time workload. */
+/**
+ * SLA metrics of a schedule against a real-time workload.
+ *
+ * Honest accounting: the latency percentiles (p50/p99/max) cover
+ * *every* frame — a frame that was dropped or never scheduled
+ * contributes +infinity, since it never completes. An over-subscribed
+ * scenario that drops half its frames therefore reports an infinite
+ * p99 instead of the rosy tail of the survivors.
+ */
 struct SlaStats
 {
     std::size_t frames = 0;             //!< workload instances
     std::size_t framesWithDeadline = 0; //!< finite-deadline subset
-    std::size_t deadlineMisses = 0; //!< incl. never-scheduled frames
+    std::size_t deadlineMisses = 0; //!< incl. dropped/never-scheduled
+    std::size_t droppedFrames = 0;  //!< admission-dropped (subset of
+                                    //!< deadlineMisses)
     double missRate = 0.0; //!< misses / framesWithDeadline (0 if none)
     double p50LatencyCycles = 0.0; //!< median frame latency
-    double p99LatencyCycles = 0.0; //!< tail frame latency
-    double maxLatencyCycles = 0.0;
+    double p99LatencyCycles = 0.0; //!< tail; +inf if frames never ran
+    double maxLatencyCycles = 0.0; //!< +inf if any frame never ran
     std::vector<InstanceSla> perInstance; //!< by instance index
 };
 
@@ -104,6 +124,24 @@ class Schedule
 
     /** Pre-size the entry list (schedulers know totalLayers()). */
     void reserve(std::size_t num_entries) { list.reserve(num_entries); }
+
+    /**
+     * Record that instance @p instance_idx was rejected by the drop
+     * policy: none of its layers will appear in the schedule, and
+     * validate()/computeSla() treat the absence as intentional (a
+     * dropped frame is still a deadline miss). Call in ascending
+     * instance order; duplicates are ignored.
+     */
+    void markDropped(std::size_t instance_idx);
+
+    /** Instances rejected by the drop policy, ascending. */
+    const std::vector<std::size_t> &droppedInstances() const
+    {
+        return droppedList;
+    }
+
+    /** Whether @p instance_idx was dropped. */
+    bool isDropped(std::size_t instance_idx) const;
 
     /**
      * Entry-by-entry exact equality against @p other (same order,
@@ -172,7 +210,21 @@ class Schedule
   private:
     std::size_t numAccs;
     std::vector<ScheduledLayer> list;
+    std::vector<std::size_t> droppedList; //!< sorted ascending
 };
+
+/**
+ * Verify that every entry's contextPenaltyCycles matches the
+ * schedule's actual per-sub-accelerator adjacency: an entry whose
+ * time-order predecessor on its sub-accelerator belongs to a
+ * different instance must carry exactly @p context_change_cycles,
+ * every other entry exactly 0. Returns an empty string when
+ * consistent, else a description of the first stale penalty — the
+ * post-processing passes assert this after reordering (the historical
+ * bug was penalties baked in at dispatch and never re-checked).
+ */
+std::string checkContextPenalties(const Schedule &schedule,
+                                  double context_change_cycles);
 
 } // namespace herald::sched
 

@@ -1,11 +1,52 @@
 #include "util/thread_pool.hh"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 
+#include "util/logging.hh"
+
 namespace herald::util
 {
+
+namespace
+{
+
+/**
+ * Parse HERALD_THREADS strictly: optional whitespace, then digits
+ * only (no sign, no trailing junk), value in [1, kMaxThreads].
+ * Returns 0 on any malformed, zero, negative, or absurd input —
+ * strtoul alone would wrap negatives to 2^64-ish values and silently
+ * accept "8 bananas".
+ */
+std::size_t
+parseThreadEnv(const char *env)
+{
+    // A huge explicit count is far more likely a typo'd value (or a
+    // negative wrapped by strtoul) than a real 4k-thread machine.
+    constexpr unsigned long kMaxThreads = 4096;
+    const char *p = env;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (!std::isdigit(static_cast<unsigned char>(*p)))
+        return 0; // empty, garbage, or a sign ('-3' must not wrap)
+    char *end = nullptr;
+    errno = 0;
+    unsigned long parsed = std::strtoul(p, &end, 10);
+    if (errno == ERANGE)
+        return 0;
+    while (std::isspace(static_cast<unsigned char>(*end)))
+        ++end; // surrounding whitespace is fine, "8 bananas" is not
+    if (*end != '\0')
+        return 0;
+    if (parsed < 1 || parsed > kMaxThreads)
+        return 0;
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
 
 std::size_t
 resolveThreadCount(std::size_t requested)
@@ -13,14 +54,17 @@ resolveThreadCount(std::size_t requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("HERALD_THREADS")) {
-        // strtoul wraps negative input around to huge values; cap at
-        // a sane bound so garbage degrades to the hardware default
-        // instead of an attempt to spawn 2^64 threads.
-        constexpr unsigned long kMaxThreads = 4096;
-        char *end = nullptr;
-        unsigned long parsed = std::strtoul(env, &end, 10);
-        if (end != env && parsed > 0 && parsed <= kMaxThreads)
-            return static_cast<std::size_t>(parsed);
+        std::size_t parsed = parseThreadEnv(env);
+        if (parsed > 0)
+            return parsed;
+        // Warn once per process; pools are created per sweep and a
+        // bad environment variable would otherwise spam every run.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            warn("HERALD_THREADS='", env,
+                 "' is not a thread count in [1, 4096]; falling "
+                 "back to hardware concurrency");
+        }
     }
     std::size_t hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

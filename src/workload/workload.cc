@@ -264,4 +264,68 @@ mixedTenantScenario(int frames60, double clock_ghz)
     return wl;
 }
 
+// The over-subscribed scenarios below are calibrated against the
+// edge-class chip's optimistic (best-sub-accelerator) runtimes at
+// the default parameters: MobileNetV2 ~1.7e6 cycles, Br-Q Handpose
+// ~5.7e6, Resnet50 ~1.34e7, FocalLengthDepthNet ~4.85e7, UNet
+// ~3.5e8. The straggler deadlines are fixed cycle budgets sized as a
+// small multiple of those runtimes — late in absolute terms, tight
+// in slack — which is the shape that separates least-slack from
+// earliest-deadline dispatch.
+
+Workload
+arvrAOverloaded(int frames60, double overload, double clock_ghz)
+{
+    if (frames60 < 1)
+        util::fatal("arvrAOverloaded: frames60 must be >= 1");
+    if (overload <= 1.0)
+        util::fatal("arvrAOverloaded: overload must be > 1");
+    Workload wl("AR/VR-A overloaded");
+    const double p = fpsPeriodCycles(60.0, clock_ghz) / overload;
+    // Latency-critical light stream: deadline two (shrunk) periods.
+    wl.addPeriodicModel(dnn::mobileNetV2(), frames60, p, 2.0 * p);
+    // UNet at these rates is hopeless on an edge-class chip (one
+    // optimistic frame is ~40x the implicit deadline): admission
+    // control (DropPolicy::HopelessFrames) sheds these instead of
+    // letting them poison the live streams.
+    wl.addPeriodicModel(dnn::uNet(), std::max(1, frames60 / 2),
+                        2.0 * p);
+    wl.addPeriodicModel(dnn::resnet50(),
+                        std::max(1, frames60 / 4), 4.0 * p,
+                        8.0 * p);
+    // Heavy tight-slack straggler: ~1.6x its optimistic runtime.
+    wl.addModel(dnn::resnet50(), 1, /*arrival=*/0.0,
+                /*deadline=*/2.14e7);
+    return wl;
+}
+
+Workload
+mixedTenantOverloaded(int frames60, double overload,
+                      double clock_ghz)
+{
+    if (frames60 < 1)
+        util::fatal("mixedTenantOverloaded: frames60 must be >= 1");
+    if (overload <= 1.0)
+        util::fatal("mixedTenantOverloaded: overload must be > 1");
+    Workload wl("AR/VR+MLPerf overloaded");
+    const double p = fpsPeriodCycles(60.0, clock_ghz) / overload;
+    // Latency-critical tenant with relaxed (multi-frame) pipeline
+    // deadlines — delaying one frame is tolerable, dropping the
+    // whole stream behind a heavy job is not.
+    wl.addPeriodicModel(dnn::mobileNetV2(), frames60, p, 3.0 * p);
+    wl.addPeriodicModel(dnn::brqHandposeNet(),
+                        std::max(1, frames60 / 2), 2.0 * p,
+                        6.0 * p);
+    // Heavy analytics job with an SLA: a late absolute deadline
+    // (~1.7x its optimistic runtime) but the least slack in the mix.
+    // Earliest-deadline dispatch procrastinates on it behind the
+    // nearer frame deadlines until it cannot finish; least-slack
+    // dispatch starts it immediately.
+    wl.addModel(dnn::focalLengthDepthNet(), 1, /*arrival=*/0.0,
+                /*deadline=*/8.25e7);
+    // Best-effort MLPerf tenant: batch job, no deadline.
+    wl.addModel(dnn::ssdMobileNetV1(), 1);
+    return wl;
+}
+
 } // namespace herald::workload

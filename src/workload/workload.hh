@@ -177,6 +177,24 @@ Workload arvrA60fps(int frames60 = 4, double clock_ghz = 1.0);
 Workload mixedTenantScenario(int frames60 = 2,
                              double clock_ghz = 1.0);
 
+/**
+ * Over-subscribed variants: the same stream mixes pushed past what
+ * an edge-class chip can sustain, for exercising slack-aware
+ * scheduling (LST) and drop policies. Frame rates are multiplied by
+ * @p overload (arrivals @p overload x denser, relative deadlines
+ * shrunk by the same factor), and each mix gains a heavy low-slack
+ * straggler — a frame whose deadline is *late* in absolute terms but
+ * whose execution time nearly fills it, the shape that separates
+ * least-slack from earliest-deadline dispatch under pressure.
+ */
+Workload arvrAOverloaded(int frames60 = 8, double overload = 4.0,
+                         double clock_ghz = 1.0);
+
+/** Over-subscribed mixedTenantScenario (see arvrAOverloaded). */
+Workload mixedTenantOverloaded(int frames60 = 8,
+                               double overload = 6.0,
+                               double clock_ghz = 1.0);
+
 } // namespace herald::workload
 
 #endif // HERALD_WORKLOAD_WORKLOAD_HH

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "accel/accelerator.hh"
@@ -293,14 +294,20 @@ TEST_F(RealtimeTest, UnscheduledInstancesCountAsMisses)
     EXPECT_EQ(sla.framesWithDeadline, 2u);
     // The never-executed frame cannot have made its deadline.
     EXPECT_EQ(sla.deadlineMisses, 1u);
+    EXPECT_EQ(sla.droppedFrames, 0u);
     EXPECT_DOUBLE_EQ(sla.missRate, 0.5);
     ASSERT_EQ(sla.perInstance.size(), 2u);
     EXPECT_TRUE(sla.perInstance[0].scheduled);
     EXPECT_FALSE(sla.perInstance[0].missed);
     EXPECT_FALSE(sla.perInstance[1].scheduled);
     EXPECT_TRUE(sla.perInstance[1].missed);
-    // Percentiles only cover scheduled frames.
-    EXPECT_DOUBLE_EQ(sla.p99LatencyCycles, 50.0);
+    // Honest percentiles: the frame that never ran contributes +inf
+    // latency instead of silently vanishing from the tail — p50 is
+    // the surviving frame, p99 and max are unbounded. (The old
+    // behaviour reported a rosy p99 of 50 cycles here.)
+    EXPECT_DOUBLE_EQ(sla.p50LatencyCycles, 50.0);
+    EXPECT_TRUE(std::isinf(sla.p99LatencyCycles));
+    EXPECT_TRUE(std::isinf(sla.maxLatencyCycles));
 }
 
 TEST_F(RealtimeTest, ContextChangePenaltyStillValidWithArrivals)
@@ -428,6 +435,192 @@ TEST_F(RealtimeTest, EdfNeverWorseThanFifoOnFactoryScenarios)
 }
 
 // ---------------------------------------------------------------
+// Selection policies (LST) and drop policies
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, DeadlineAwareAliasSelectsEdf)
+{
+    SchedulerOptions opts;
+    EXPECT_EQ(opts.effectivePolicy(), sched::Policy::Fifo);
+    opts.deadlineAware = true;
+    EXPECT_EQ(opts.effectivePolicy(), sched::Policy::Edf);
+    opts.policy = sched::Policy::Lst;
+    EXPECT_EQ(opts.effectivePolicy(), sched::Policy::Lst)
+        << "an explicit policy must win over the deprecated alias";
+
+    // The alias produces the exact schedule the enum produces.
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    SchedulerOptions alias_opts;
+    alias_opts.deadlineAware = true;
+    SchedulerOptions enum_opts;
+    enum_opts.policy = sched::Policy::Edf;
+    Schedule a =
+        HeraldScheduler(model, alias_opts).schedule(wl, acc);
+    Schedule b = HeraldScheduler(model, enum_opts).schedule(wl, acc);
+    EXPECT_TRUE(a.identicalTo(b));
+}
+
+TEST_F(RealtimeTest, LstIsExactNoOpWithoutDeadlines)
+{
+    // Deadline-free workloads key every instance to +inf slack, so
+    // LST must be bit-identical to FIFO — with or without the drop
+    // policy (which never drops deadline-free frames).
+    Workload wl("plain");
+    wl.addModel(dnn::mobileNetV2(), 2);
+    wl.addModel(dnn::brqHandposeNet(), 1, 5e5);
+    Accelerator acc = miniHda();
+
+    SchedulerOptions fifo;
+    Schedule base = HeraldScheduler(model, fifo).schedule(wl, acc);
+    for (auto drop : {sched::DropPolicy::None,
+                      sched::DropPolicy::HopelessFrames}) {
+        SchedulerOptions lst;
+        lst.policy = sched::Policy::Lst;
+        lst.dropPolicy = drop;
+        Schedule s = HeraldScheduler(model, lst).schedule(wl, acc);
+        EXPECT_TRUE(base.identicalTo(s));
+        EXPECT_TRUE(s.droppedInstances().empty());
+    }
+}
+
+TEST_F(RealtimeTest, LstNeverWorseThanEdfOnOverloadedScenarios)
+{
+    // Property guardrail for the over-subscribed factory scenarios:
+    // slack-aware dispatch must not lose to deadline-only dispatch,
+    // with or without admission control.
+    Accelerator acc = miniHda();
+    for (int frames : {2, 4, 8}) {
+        for (const Workload &wl :
+             {workload::arvrAOverloaded(frames),
+              workload::mixedTenantOverloaded(frames)}) {
+            for (auto drop : {sched::DropPolicy::None,
+                              sched::DropPolicy::HopelessFrames}) {
+                SchedulerOptions edf;
+                edf.policy = sched::Policy::Edf;
+                edf.dropPolicy = drop;
+                SchedulerOptions lst = edf;
+                lst.policy = sched::Policy::Lst;
+                Schedule se =
+                    HeraldScheduler(model, edf).schedule(wl, acc);
+                Schedule sl =
+                    HeraldScheduler(model, lst).schedule(wl, acc);
+                EXPECT_EQ(se.validate(wl, acc), "") << wl.name();
+                EXPECT_EQ(sl.validate(wl, acc), "") << wl.name();
+                EXPECT_LE(sl.computeSla(wl).deadlineMisses,
+                          se.computeSla(wl).deadlineMisses)
+                    << wl.name() << " frames=" << frames
+                    << " drop=" << sched::toString(drop);
+            }
+        }
+    }
+}
+
+TEST_F(RealtimeTest, LstBeatsEdfOnOverloadedMixedTenant)
+{
+    // The headline separation (acceptance criterion): on the
+    // over-subscribed mixed-tenant scenario the heavy analytics job
+    // has the least slack but the latest deadline — EDF
+    // procrastinates on it behind the frame streams until it cannot
+    // finish, LST starts it immediately and still lands the frames
+    // (their multi-frame pipeline deadlines tolerate the wait).
+    Accelerator acc = miniHda();
+    Workload wl = workload::mixedTenantOverloaded(8);
+    SchedulerOptions edf;
+    edf.policy = sched::Policy::Edf;
+    SchedulerOptions lst;
+    lst.policy = sched::Policy::Lst;
+    Schedule se = HeraldScheduler(model, edf).schedule(wl, acc);
+    Schedule sl = HeraldScheduler(model, lst).schedule(wl, acc);
+    EXPECT_EQ(se.validate(wl, acc), "");
+    EXPECT_EQ(sl.validate(wl, acc), "");
+    sched::SlaStats e = se.computeSla(wl);
+    sched::SlaStats l = sl.computeSla(wl);
+    EXPECT_LT(l.deadlineMisses, e.deadlineMisses)
+        << "LST must yield strictly fewer misses than EDF here";
+}
+
+TEST_F(RealtimeTest, DropPolicyShedsHopelessFrames)
+{
+    // arvrAOverloaded carries a UNet stream whose frames are
+    // provably hopeless (optimistic execution alone blows the
+    // deadline): the drop policy sheds exactly those, they count as
+    // misses, and the freed cycles save other frames.
+    Accelerator acc = miniHda();
+    Workload wl = workload::arvrAOverloaded(4);
+    for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf,
+                        sched::Policy::Lst}) {
+        SchedulerOptions keep;
+        keep.policy = policy;
+        SchedulerOptions drop = keep;
+        drop.dropPolicy = sched::DropPolicy::HopelessFrames;
+        Schedule sk = HeraldScheduler(model, keep).schedule(wl, acc);
+        Schedule sd = HeraldScheduler(model, drop).schedule(wl, acc);
+        EXPECT_EQ(sk.validate(wl, acc), "");
+        EXPECT_EQ(sd.validate(wl, acc), "");
+
+        sched::SlaStats kept = sk.computeSla(wl);
+        sched::SlaStats shed = sd.computeSla(wl);
+        EXPECT_EQ(kept.droppedFrames, 0u);
+        ASSERT_GT(shed.droppedFrames, 0u);
+        // Dropped = the UNet frames (spec 1), nothing else.
+        for (std::size_t idx : sd.droppedInstances()) {
+            EXPECT_EQ(wl.instances()[idx].specIdx, 1u);
+            EXPECT_FALSE(shed.perInstance[idx].scheduled);
+            EXPECT_TRUE(shed.perInstance[idx].dropped);
+            EXPECT_TRUE(shed.perInstance[idx].missed)
+                << "a dropped frame is a missed frame";
+        }
+        EXPECT_EQ(shed.droppedFrames, sd.droppedInstances().size());
+        // No layer of a dropped instance may be scheduled.
+        for (const sched::ScheduledLayer &e : sd.entries())
+            EXPECT_FALSE(sd.isDropped(e.instanceIdx));
+        // Shedding hopeless work must not create new misses — here
+        // it strictly reduces them by rescuing live frames.
+        EXPECT_LE(shed.deadlineMisses, kept.deadlineMisses)
+            << sched::toString(policy);
+        EXPECT_GE(shed.deadlineMisses, shed.droppedFrames);
+        // Unbounded tail: dropped frames never complete.
+        EXPECT_TRUE(std::isinf(shed.p99LatencyCycles));
+    }
+}
+
+TEST_F(RealtimeTest, DropPolicyNoOpWhenEveryFrameIsFeasible)
+{
+    // miniRealtime's deadlines are generous: nothing is provably
+    // hopeless, so admission control must change nothing at all.
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf,
+                        sched::Policy::Lst}) {
+        SchedulerOptions keep;
+        keep.policy = policy;
+        SchedulerOptions drop = keep;
+        drop.dropPolicy = sched::DropPolicy::HopelessFrames;
+        Schedule a = HeraldScheduler(model, keep).schedule(wl, acc);
+        Schedule b = HeraldScheduler(model, drop).schedule(wl, acc);
+        EXPECT_TRUE(a.identicalTo(b)) << sched::toString(policy);
+        EXPECT_TRUE(b.droppedInstances().empty());
+    }
+}
+
+TEST_F(RealtimeTest, OverloadedFactoryScenariosAreOverSubscribed)
+{
+    // The over-subscribed variants must actually be over-subscribed:
+    // even EDF cannot meet every deadline at the default sizes.
+    Accelerator acc = miniHda();
+    for (const Workload &wl : {workload::arvrAOverloaded(8),
+                               workload::mixedTenantOverloaded(8)}) {
+        EXPECT_TRUE(wl.hasArrivals());
+        EXPECT_TRUE(wl.hasDeadlines());
+        SchedulerOptions edf;
+        edf.policy = sched::Policy::Edf;
+        Schedule s = HeraldScheduler(model, edf).schedule(wl, acc);
+        EXPECT_GT(s.computeSla(wl).deadlineMisses, 0u) << wl.name();
+    }
+}
+
+// ---------------------------------------------------------------
 // DSE integration
 // ---------------------------------------------------------------
 
@@ -464,6 +657,35 @@ TEST_F(RealtimeTest, ExploreReportsSlaAlongsideEdp)
     for (const dse::DsePoint &p : result.points) {
         EXPECT_EQ(p.summary.sla.frames, wl.numInstances());
         EXPECT_GT(p.summary.edp(), 0.0);
+    }
+}
+
+TEST_F(RealtimeTest, SlaViolationsSweepWithLstAndDrop)
+{
+    // Hardware x policy co-design: the SlaViolations objective
+    // composes with any selection/drop policy pair, and the dropped-
+    // frame accounting flows through every swept design point.
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 256;
+    opts.partition.bwGranularity = 4.0;
+    opts.objective = dse::Objective::SlaViolations;
+    opts.scheduler.policy = sched::Policy::Lst;
+    opts.scheduler.dropPolicy = sched::DropPolicy::HopelessFrames;
+    dse::Herald herald(model, opts);
+    Workload wl = workload::arvrAOverloaded(2);
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    ASSERT_FALSE(result.points.empty());
+    std::size_t best = result.best().summary.sla.deadlineMisses;
+    for (const dse::DsePoint &p : result.points) {
+        EXPECT_GE(p.summary.sla.deadlineMisses, best);
+        EXPECT_EQ(p.summary.sla.frames, wl.numInstances());
+        // The UNet frame is hopeless on every partition of the edge
+        // chip, so admission control fires at every design point.
+        EXPECT_GT(p.summary.sla.droppedFrames, 0u);
+        EXPECT_GE(p.summary.sla.deadlineMisses,
+                  p.summary.sla.droppedFrames);
     }
 }
 

@@ -159,23 +159,35 @@ TEST_F(SchedEquivalenceTest, AllScenariosAllPolicyCombinations)
 {
     Accelerator acc = edgeHda();
     for (const NamedWorkload &s : scenarios()) {
-        for (bool edf : {false, true}) {
+        for (auto policy :
+             {sched::Policy::Fifo, sched::Policy::Edf}) {
             for (auto ordering : {sched::Ordering::BreadthFirst,
                                   sched::Ordering::DepthFirst}) {
                 for (bool pp : {false, true}) {
                     SchedulerOptions opts;
-                    opts.deadlineAware = edf;
+                    opts.policy = policy;
                     opts.ordering = ordering;
                     opts.postProcess = pp;
                     std::string label =
-                        s.name + (edf ? "/EDF" : "/FIFO") + "/" +
-                        sched::toString(ordering) +
+                        s.name + "/" + sched::toString(policy) +
+                        "/" + sched::toString(ordering) +
                         (pp ? "/pp" : "/nopp");
                     expectEquivalent(s.wl, acc, opts, label);
                 }
             }
         }
     }
+}
+
+TEST_F(SchedEquivalenceTest, DeprecatedDeadlineAwareAliasStaysIdentical)
+{
+    // The deprecated bool must route through the same EDF path the
+    // enum selects — bit-identical to the reference on both spellings.
+    Accelerator acc = edgeHda();
+    SchedulerOptions alias_opts;
+    alias_opts.deadlineAware = true;
+    expectEquivalent(workload::arvrA60fps(3), acc, alias_opts,
+                     "alias/EDF");
 }
 
 TEST_F(SchedEquivalenceTest, ThreeWayHdaWithContextChange)

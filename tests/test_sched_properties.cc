@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "accel/accelerator.hh"
@@ -148,6 +149,8 @@ enum class OptKind
     LatencyMetric,
     ContextPenalty,
     DeadlineAware,
+    LeastSlack,
+    LeastSlackDrop,
 };
 
 const char *
@@ -168,6 +171,10 @@ name(OptKind kind)
         return "ctxpenalty";
       case OptKind::DeadlineAware:
         return "edf";
+      case OptKind::LeastSlack:
+        return "lst";
+      case OptKind::LeastSlackDrop:
+        return "lstdrop";
     }
     return "?";
 }
@@ -197,7 +204,14 @@ makeOptions(OptKind kind)
         opts.contextChangeCycles = 10000.0;
         break;
       case OptKind::DeadlineAware:
-        opts.deadlineAware = true;
+        opts.policy = sched::Policy::Edf;
+        break;
+      case OptKind::LeastSlack:
+        opts.policy = sched::Policy::Lst;
+        break;
+      case OptKind::LeastSlackDrop:
+        opts.policy = sched::Policy::Lst;
+        opts.dropPolicy = sched::DropPolicy::HopelessFrames;
         break;
     }
     return opts;
@@ -288,7 +302,9 @@ INSTANTIATE_TEST_SUITE_P(
                           OptKind::DepthFirst, OptKind::TightBalance,
                           OptKind::LatencyMetric,
                           OptKind::ContextPenalty,
-                          OptKind::DeadlineAware)),
+                          OptKind::DeadlineAware,
+                          OptKind::LeastSlack,
+                          OptKind::LeastSlackDrop)),
     [](const ::testing::TestParamInfo<SchedParam> &info) {
         return std::string(name(std::get<0>(info.param))) + "_" +
                name(std::get<1>(info.param)) + "_" +
@@ -361,6 +377,94 @@ randomWorkload(util::SplitMix64 &rng, int trial)
 }
 
 } // namespace
+
+// ---------------------------------------------------------------
+// Randomized policy/drop property sweep: every selection policy x
+// drop policy x post-processing combination must produce a schedule
+// that validates (completeness modulo dropped frames, dependences,
+// arrivals, non-overlap, memory) with internally consistent SLA
+// statistics on seeded random periodic workloads.
+// ---------------------------------------------------------------
+
+TEST(PolicyDropRandomized, ValidSchedulesAndConsistentSla)
+{
+    util::setVerbose(false);
+    cost::CostModel model;
+    util::SplitMix64 rng(424242);
+
+    for (int trial = 0; trial < 12; ++trial) {
+        Workload wl = randomWorkload(rng, trial);
+        Accelerator acc = makeAccelerator(
+            static_cast<AccKind>(rng.nextBounded(5)));
+        for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf,
+                            sched::Policy::Lst}) {
+            for (auto drop : {sched::DropPolicy::None,
+                              sched::DropPolicy::HopelessFrames}) {
+                for (bool pp : {false, true}) {
+                    SchedulerOptions opts;
+                    opts.policy = policy;
+                    opts.dropPolicy = drop;
+                    opts.postProcess = pp;
+                    sched::Schedule s =
+                        sched::HeraldScheduler(model, opts)
+                            .schedule(wl, acc);
+                    std::string label =
+                        std::string(sched::toString(policy)) + "/" +
+                        sched::toString(drop) +
+                        (pp ? "/pp" : "/nopp") + " trial " +
+                        std::to_string(trial);
+
+                    // Full validity (includes arrival respect).
+                    EXPECT_EQ(s.validate(wl, acc), "") << label;
+                    for (const sched::ScheduledLayer &e :
+                         s.entries()) {
+                        EXPECT_GE(
+                            e.startCycle,
+                            wl.instances()[e.instanceIdx]
+                                    .arrivalCycle -
+                                1e-6)
+                            << label;
+                    }
+                    if (drop == sched::DropPolicy::None)
+                        EXPECT_TRUE(s.droppedInstances().empty())
+                            << label;
+
+                    // SLA internal consistency.
+                    sched::SlaStats sla = s.computeSla(wl);
+                    EXPECT_EQ(sla.frames, wl.numInstances())
+                        << label;
+                    EXPECT_EQ(sla.droppedFrames,
+                              s.droppedInstances().size())
+                        << label;
+                    EXPECT_GE(sla.deadlineMisses, sla.droppedFrames)
+                        << label;
+                    EXPECT_LE(sla.deadlineMisses,
+                              sla.framesWithDeadline)
+                        << label;
+                    EXPECT_LE(sla.missRate, 1.0 + 1e-12) << label;
+                    EXPECT_GE(sla.missRate, 0.0) << label;
+                    EXPECT_LE(sla.p50LatencyCycles,
+                              sla.p99LatencyCycles)
+                        << label;
+                    EXPECT_LE(sla.p99LatencyCycles,
+                              sla.maxLatencyCycles)
+                        << label;
+                    std::size_t missed = 0;
+                    std::size_t dropped = 0;
+                    for (const sched::InstanceSla &inst :
+                         sla.perInstance) {
+                        missed += inst.missed ? 1 : 0;
+                        dropped += inst.dropped ? 1 : 0;
+                        if (inst.dropped)
+                            EXPECT_FALSE(inst.scheduled) << label;
+                    }
+                    EXPECT_EQ(missed, sla.deadlineMisses) << label;
+                    EXPECT_EQ(dropped, sla.droppedFrames) << label;
+                }
+            }
+        }
+    }
+}
 
 TEST(PostProcessRandomized, NeverIntroducesViolations)
 {

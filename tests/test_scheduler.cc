@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+
 #include "accel/accelerator.hh"
 #include "dnn/model_zoo.hh"
 #include "sched/greedy_scheduler.hh"
@@ -406,6 +409,62 @@ TEST_F(SchedulerTest, ScheduleValidatorCatchesMissingLayer)
     e0.endCycle = 100.0;
     s.add(e0);
     EXPECT_NE(s.validate(wl, acc), "");
+}
+
+// Regression for the stale context-penalty bug: the penalty used to
+// be baked into a layer's duration at initial assignment and never
+// re-examined when post-processing's gap-fill pass reordered entries
+// and changed a sub-accelerator's instance adjacency — retimed
+// schedules carried penalties where no context switch remained (and
+// vice versa). The fix keeps every entry's penalty consistent with
+// the actual time-order adjacency; checkContextPenalties() is the
+// exact invariant.
+TEST_F(SchedulerTest, ContextPenaltyConsistentAfterPostProcess)
+{
+    const double penalty = 1e4;
+    Accelerator hda = miniHda();
+    for (const Workload &wl :
+         {miniWorkload(), workload::arvrA60fps(3),
+          workload::mixedTenantScenario(2)}) {
+        for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf,
+                            sched::Policy::Lst}) {
+            SchedulerOptions opts;
+            opts.policy = policy;
+            opts.contextChangeCycles = penalty;
+            opts.postProcess = true;
+            Schedule pp =
+                HeraldScheduler(model, opts).schedule(wl, hda);
+            EXPECT_EQ(pp.validate(wl, hda), "") << wl.name();
+            EXPECT_EQ(sched::checkContextPenalties(pp, penalty), "")
+                << wl.name() << "/" << sched::toString(policy);
+
+            // Base (penalty-free) durations must survive the
+            // post-processing unchanged: for every (instance, layer)
+            // pair, duration minus the carried penalty equals the
+            // postProcess-off run's duration minus its penalty.
+            SchedulerOptions no_pp = opts;
+            no_pp.postProcess = false;
+            Schedule raw =
+                HeraldScheduler(model, no_pp).schedule(wl, hda);
+            EXPECT_EQ(sched::checkContextPenalties(raw, penalty),
+                      "")
+                << wl.name();
+            std::map<std::pair<std::size_t, std::size_t>, double>
+                base;
+            for (const sched::ScheduledLayer &e : raw.entries()) {
+                base[{e.instanceIdx, e.layerIdx}] =
+                    e.duration() - e.contextPenaltyCycles;
+            }
+            for (const sched::ScheduledLayer &e : pp.entries()) {
+                auto it = base.find({e.instanceIdx, e.layerIdx});
+                ASSERT_NE(it, base.end());
+                EXPECT_NEAR(e.duration() - e.contextPenaltyCycles,
+                            it->second, 1e-6)
+                    << wl.name() << " instance " << e.instanceIdx
+                    << " layer " << e.layerIdx;
+            }
+        }
+    }
 }
 
 } // namespace

@@ -93,6 +93,43 @@ TEST(ThreadPoolTest, ResolveThreadCountPrecedence)
     EXPECT_GE(resolveThreadCount(0), 1u);
 }
 
+TEST(ThreadPoolTest, MalformedThreadEnvFallsBackToHardware)
+{
+    // The hardware fallback for comparison (explicit requests bypass
+    // the environment entirely, so query with it unset).
+    ASSERT_EQ(unsetenv("HERALD_THREADS"), 0);
+    const std::size_t hw = resolveThreadCount(0);
+    ASSERT_GE(hw, 1u);
+
+    // Every malformed, zero, negative, or absurd value must degrade
+    // to the hardware default instead of wrapping (strtoul turns
+    // "-3" into ~2^64) or spawning a million threads.
+    const char *bad[] = {
+        "",      "0",          "-3",   "-1",
+        "nope",  "8bananas",   "16 x", "0x10",
+        "4097",  "1000000",    "99999999999999999999",
+        "3.5",   " -2",        "+",
+    };
+    for (const char *value : bad) {
+        ASSERT_EQ(setenv("HERALD_THREADS", value, 1), 0);
+        EXPECT_EQ(resolveThreadCount(0), hw)
+            << "HERALD_THREADS='" << value << "'";
+    }
+
+    // Well-formed values (surrounding whitespace tolerated) win.
+    ASSERT_EQ(setenv("HERALD_THREADS", "16", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 16u);
+    ASSERT_EQ(setenv("HERALD_THREADS", "  2", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 2u);
+    ASSERT_EQ(setenv("HERALD_THREADS", "8 ", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 8u);
+    ASSERT_EQ(setenv("HERALD_THREADS", "5\n", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 5u);
+    ASSERT_EQ(setenv("HERALD_THREADS", "4096", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 4096u);
+    ASSERT_EQ(unsetenv("HERALD_THREADS"), 0);
+}
+
 TEST(ThreadPoolTest, PoolIsReusableAcrossBatches)
 {
     ThreadPool pool(4);
