@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Bench-regression gate: parse a bench JSON emission (current run or
+ * committed baseline) into a flat key -> value view and compare the
+ * two, so CI can fail the build when scheduler throughput drops or a
+ * policy's deadline-miss count rises versus the committed baseline
+ * (bench/baselines/). Shared by bench_sched_throughput and
+ * bench_realtime via --check-against / --tolerance / --check-only.
+ *
+ * The parser is a deliberately small recursive-descent reader for
+ * the JSON these benches themselves emit (objects, arrays, numbers,
+ * strings, bools, null — no escapes beyond \" \\ \/ \n \t, which is
+ * all the emitters produce). Nested values flatten to dotted paths:
+ *
+ *   {"fifo": {"layers_per_sec": 10}, "scenarios": [{"name": "x"}]}
+ *     -> numbers["fifo.layers_per_sec"] = 10
+ *        strings["scenarios.0.name"]    = "x"
+ *
+ * Comparison semantics:
+ *  - throughput keys: current >= baseline * (1 - tolerance/100);
+ *    a *negative* tolerance therefore demands current exceed the
+ *    baseline, which is how the CI gate verifies itself (a healthy
+ *    build must fail a --tolerance -1000 check);
+ *  - count keys (deadline misses): current <= baseline, no
+ *    tolerance — miss counts are deterministic;
+ *  - keys present in the baseline but missing from the current run
+ *    fail the check (a renamed metric needs a baseline refresh);
+ *    keys new in the current run are ignored (adding metrics must
+ *    not break CI until the baseline is refreshed).
+ */
+
+#ifndef HERALD_BENCH_BENCH_BASELINE_HH
+#define HERALD_BENCH_BENCH_BASELINE_HH
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace herald::benchgate
+{
+
+/** Flattened JSON document (see file comment for the path scheme). */
+struct FlatJson
+{
+    std::map<std::string, double> numbers;
+    std::map<std::string, std::string> strings;
+
+    bool
+    hasNumber(const std::string &key) const
+    {
+        return numbers.count(key) != 0;
+    }
+
+    double
+    number(const std::string &key) const
+    {
+        auto it = numbers.find(key);
+        if (it == numbers.end())
+            util::fatal("bench gate: missing numeric key ", key);
+        return it->second;
+    }
+
+    const std::string *
+    findString(const std::string &key) const
+    {
+        auto it = strings.find(key);
+        return it == strings.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Length of the array at @p prefix, probing @p probe_field of
+     * each element (works for the object arrays the benches emit).
+     */
+    std::size_t
+    arrayLen(const std::string &prefix,
+             const std::string &probe_field) const
+    {
+        std::size_t n = 0;
+        while (true) {
+            std::string key = prefix + "." + std::to_string(n) +
+                              "." + probe_field;
+            if (!numbers.count(key) && !strings.count(key))
+                return n;
+            ++n;
+        }
+    }
+};
+
+namespace detail
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &origin)
+        : text(text), origin(origin)
+    {
+    }
+
+    FlatJson
+    run()
+    {
+        FlatJson out;
+        value("", out);
+        skipWs();
+        if (pos != text.size())
+            fail("trailing content after document");
+        return out;
+    }
+
+  private:
+    const std::string &text;
+    const std::string &origin;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        util::fatal("bench gate: malformed JSON in ", origin,
+                    " at byte ", pos, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    fail("dangling escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default: fail("unsupported escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        if (pos >= text.size())
+            fail("unterminated string");
+        ++pos; // closing quote
+        return out;
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos >= text.size() || text[pos] != *p)
+                fail("bad literal");
+            ++pos;
+        }
+    }
+
+    static std::string
+    join(const std::string &prefix, const std::string &key)
+    {
+        return prefix.empty() ? key : prefix + "." + key;
+    }
+
+    void
+    value(const std::string &path, FlatJson &out)
+    {
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            if (consume('}'))
+                return;
+            do {
+                std::string key = parseString();
+                expect(':');
+                value(join(path, key), out);
+            } while (consume(','));
+            expect('}');
+        } else if (c == '[') {
+            ++pos;
+            if (consume(']'))
+                return;
+            std::size_t idx = 0;
+            do {
+                value(join(path, std::to_string(idx++)), out);
+            } while (consume(','));
+            expect(']');
+        } else if (c == '"') {
+            out.strings[path] = parseString();
+        } else if (c == 't') {
+            literal("true");
+            out.numbers[path] = 1.0;
+        } else if (c == 'f') {
+            literal("false");
+            out.numbers[path] = 0.0;
+        } else if (c == 'n') {
+            literal("null");
+        } else {
+            const char *start = text.c_str() + pos;
+            char *end = nullptr;
+            double v = std::strtod(start, &end);
+            if (end == start)
+                fail("expected a value");
+            pos += static_cast<std::size_t>(end - start);
+            out.numbers[path] = v;
+        }
+    }
+};
+
+} // namespace detail
+
+/**
+ * Strict numeric CLI-argument parse for the gate flags: the whole
+ * string must be a finite number (no trailing junk, no empty
+ * string). A typo like "x25" silently becoming 0.0 would turn the
+ * 25% gate into a zero-tolerance gate; fail loudly instead.
+ */
+inline double
+parseToleranceArg(const char *arg)
+{
+    char *end = nullptr;
+    double v = std::strtod(arg, &end);
+    if (end == arg || *end != '\0')
+        util::fatal("bench gate: malformed --tolerance value \"",
+                    arg, "\" (expected a number, e.g. 25)");
+    return v;
+}
+
+/** Parse @p path (util::fatal on I/O or syntax errors). */
+inline FlatJson
+parseJsonFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        util::fatal("bench gate: cannot read ", path);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return detail::Parser(text, path).run();
+}
+
+/**
+ * Accumulates baseline comparisons; every violation prints one line
+ * to stderr so a CI failure names exactly what regressed.
+ */
+class BaselineChecker
+{
+  public:
+    BaselineChecker(const FlatJson &current, const FlatJson &baseline,
+                    double tolerance_pct)
+        : current(current), baseline(baseline),
+          tolerance(tolerance_pct)
+    {
+    }
+
+    /**
+     * Gate a higher-is-better rate: fail when the current value
+     * drops more than the tolerance below the baseline. Skipped
+     * (with a note) when the baseline lacks the key.
+     */
+    void
+    checkThroughput(const std::string &key)
+    {
+        if (!baseline.hasNumber(key)) {
+            std::fprintf(stderr,
+                         "bench gate: note: baseline lacks \"%s\" "
+                         "(skipped; refresh baselines)\n",
+                         key.c_str());
+            return;
+        }
+        if (!current.hasNumber(key)) {
+            failure(key, "metric missing from current run");
+            return;
+        }
+        const double base = baseline.number(key);
+        const double cur = current.number(key);
+        ++performed;
+        const double floor = base * (1.0 - tolerance / 100.0);
+        if (cur < floor) {
+            std::fprintf(stderr,
+                         "bench gate: FAIL %s: %.1f < %.1f "
+                         "(baseline %.1f, tolerance %.1f%%)\n",
+                         key.c_str(), cur, floor, base, tolerance);
+            ++failures;
+        }
+    }
+
+    /**
+     * Gate a deterministic lower-is-better counter (deadline
+     * misses): any rise over the baseline fails, tolerance-free.
+     */
+    void
+    checkCountNotAbove(const std::string &current_key,
+                       const std::string &baseline_key)
+    {
+        if (!baseline.hasNumber(baseline_key)) {
+            std::fprintf(stderr,
+                         "bench gate: note: baseline lacks \"%s\" "
+                         "(skipped; refresh baselines)\n",
+                         baseline_key.c_str());
+            return;
+        }
+        if (!current.hasNumber(current_key)) {
+            failure(current_key, "metric missing from current run");
+            return;
+        }
+        const double base = baseline.number(baseline_key);
+        const double cur = current.number(current_key);
+        ++performed;
+        if (cur > base) {
+            std::fprintf(stderr,
+                         "bench gate: FAIL %s: %.0f > baseline "
+                         "%.0f\n",
+                         current_key.c_str(), cur, base);
+            ++failures;
+        }
+    }
+
+    void
+    failure(const std::string &key, const char *why)
+    {
+        std::fprintf(stderr, "bench gate: FAIL %s: %s\n", key.c_str(),
+                     why);
+        ++failures;
+        ++performed; // a probe that failed still counts as a check
+    }
+
+    /** Print the verdict; true when everything held. */
+    bool
+    verdict(const char *bench_name) const
+    {
+        // A gate that compared nothing proves nothing: a truncated
+        // or structurally renamed baseline would skip every probe
+        // and leave the gate permanently inert while CI stays
+        // green — treat that as a failure in its own right.
+        if (performed == 0) {
+            std::fprintf(stderr,
+                         "bench gate: %s INERT: no comparison "
+                         "matched the baseline's structure — "
+                         "regenerate bench/baselines/ via the "
+                         "refresh-baselines target\n",
+                         bench_name);
+            return false;
+        }
+        if (failures == 0) {
+            std::printf("bench gate: %s within baseline "
+                        "(%d checks, tolerance %.1f%%)\n",
+                        bench_name, performed, tolerance);
+            return true;
+        }
+        std::fprintf(stderr,
+                     "bench gate: %s REGRESSED: %d of %d check(s) "
+                     "failed (refresh bench/baselines/ via the "
+                     "refresh-baselines target if intentional)\n",
+                     bench_name, failures, performed);
+        return false;
+    }
+
+  private:
+    const FlatJson &current;
+    const FlatJson &baseline;
+    double tolerance;
+    int failures = 0;
+    int performed = 0; //!< comparisons that actually executed
+};
+
+/**
+ * Compare the per-policy miss-count rows of an object array (each
+ * element carrying a "policy" label and a "misses" counter, the
+ * shape both real-time benches emit): every baseline row must have a
+ * label-matched current row whose miss count has not risen. Label
+ * matching keeps column reordering from silently skewing the
+ * comparison; a baseline row with no current counterpart fails
+ * (renames force a baseline refresh).
+ */
+inline void
+checkPolicyMissRows(BaselineChecker &chk, const FlatJson &current,
+                    const FlatJson &baseline,
+                    const std::string &current_prefix,
+                    const std::string &baseline_prefix,
+                    const std::string &context)
+{
+    const std::size_t n_base =
+        baseline.arrayLen(baseline_prefix, "misses");
+    const std::size_t n_cur =
+        current.arrayLen(current_prefix, "misses");
+    for (std::size_t i = 0; i < n_base; ++i) {
+        std::string brow =
+            baseline_prefix + "." + std::to_string(i);
+        const std::string *label =
+            baseline.findString(brow + ".policy");
+        if (!label)
+            continue;
+        bool found = false;
+        for (std::size_t j = 0; j < n_cur; ++j) {
+            std::string crow =
+                current_prefix + "." + std::to_string(j);
+            const std::string *clabel =
+                current.findString(crow + ".policy");
+            if (clabel && *clabel == *label) {
+                chk.checkCountNotAbove(crow + ".misses",
+                                       brow + ".misses");
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            chk.failure(context + "." + *label,
+                        "policy row missing from current run");
+    }
+}
+
+} // namespace herald::benchgate
+
+#endif // HERALD_BENCH_BENCH_BASELINE_HH

@@ -2,9 +2,12 @@
  * @file
  * Real-time scenario benchmark: SLA outcomes (deadline miss counts,
  * miss rates, dropped frames, p50/p99 frame latency) of every
- * instance-selection policy — FIFO, EDF, LST, and LST with hopeless-
- * frame dropping — on the factory real-time scenarios *and* their
- * over-subscribed variants, plus scheduler throughput on periodic
+ * instance-selection policy — FIFO, EDF, LST, LST with hopeless-
+ * frame dropping, and LST with layer-boundary preemption points
+ * (with and without dynamic doomed-frame shedding) — on the factory
+ * real-time scenarios *and* their over-subscribed variants
+ * (including the interactive mix where preemption strictly beats
+ * run-to-completion dispatch), plus scheduler throughput on periodic
  * workloads and a timed SLA-objective partition sweep. Emits
  * machine-readable JSON (default BENCH_realtime.json) so successive
  * PRs can track scheduling quality (not just throughput).
@@ -15,6 +18,16 @@
  *
  * Usage:
  *   bench_realtime [--threads N] [--out FILE] [--small]
+ *                  [--check-against BASELINE.json] [--tolerance PCT]
+ *                  [--check-only]
+ *
+ * --check-against enables the CI regression gate: after emitting the
+ * JSON it is compared against the committed baseline and the run
+ * exits non-zero when any (scenario, policy) deadline-miss count
+ * rises above the baseline (miss counts are deterministic, so no
+ * tolerance applies; --tolerance is accepted for symmetry with
+ * bench_sched_throughput). --check-only skips the benchmarks and
+ * only re-runs the comparison against the existing --out file.
  */
 
 #include <chrono>
@@ -24,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_baseline.hh"
 #include "bench_common.hh"
 #include "util/thread_pool.hh"
 
@@ -81,14 +95,23 @@ struct PolicyConfig
     const char *label;
     sched::Policy policy;
     sched::DropPolicy drop;
+    sched::Preemption preemption;
 };
 
 const PolicyConfig kPolicies[] = {
-    {"fifo", sched::Policy::Fifo, sched::DropPolicy::None},
-    {"edf", sched::Policy::Edf, sched::DropPolicy::None},
-    {"lst", sched::Policy::Lst, sched::DropPolicy::None},
+    {"fifo", sched::Policy::Fifo, sched::DropPolicy::None,
+     sched::Preemption::Off},
+    {"edf", sched::Policy::Edf, sched::DropPolicy::None,
+     sched::Preemption::Off},
+    {"lst", sched::Policy::Lst, sched::DropPolicy::None,
+     sched::Preemption::Off},
     {"lst_drop", sched::Policy::Lst,
-     sched::DropPolicy::HopelessFrames},
+     sched::DropPolicy::HopelessFrames, sched::Preemption::Off},
+    {"lst_preempt", sched::Policy::Lst, sched::DropPolicy::None,
+     sched::Preemption::AtLayerBoundary},
+    {"lst_preempt_doom", sched::Policy::Lst,
+     sched::DropPolicy::DoomedFrames,
+     sched::Preemption::AtLayerBoundary},
 };
 
 ScenarioResult
@@ -103,6 +126,7 @@ runScenario(const workload::Workload &wl,
         sched::SchedulerOptions opts;
         opts.policy = config.policy;
         opts.dropPolicy = config.drop;
+        opts.preemption = config.preemption;
         sched::HeraldScheduler scheduler(model, opts);
         sched::Schedule s = scheduler.schedule(wl, acc);
         std::string issue = s.validate(wl, acc);
@@ -136,6 +160,54 @@ runScenario(const workload::Workload &wl,
     return r;
 }
 
+/**
+ * The regression gate (--check-against): every (scenario, policy)
+ * deadline-miss count in the baseline must not be exceeded by the
+ * current run, matched by scenario name and policy label. Returns 0
+ * when within bounds.
+ */
+int
+checkAgainstBaseline(const std::string &current_path,
+                     const std::string &baseline_path,
+                     double tolerance)
+{
+    benchgate::FlatJson cur =
+        benchgate::parseJsonFile(current_path);
+    benchgate::FlatJson base =
+        benchgate::parseJsonFile(baseline_path);
+    benchgate::BaselineChecker chk(cur, base, tolerance);
+
+    const std::size_t n_base = base.arrayLen("scenarios", "frames");
+    const std::size_t n_cur = cur.arrayLen("scenarios", "frames");
+    for (std::size_t i = 0; i < n_base; ++i) {
+        std::string bscen = "scenarios." + std::to_string(i);
+        const std::string *name = base.findString(bscen + ".name");
+        if (!name)
+            continue;
+        // Match the scenario by name in the current emission.
+        std::string cscen;
+        for (std::size_t j = 0; j < n_cur; ++j) {
+            std::string cand = "scenarios." + std::to_string(j);
+            const std::string *cname =
+                cur.findString(cand + ".name");
+            if (cname && *cname == *name) {
+                cscen = cand;
+                break;
+            }
+        }
+        if (cscen.empty()) {
+            chk.failure("scenarios[" + *name + "]",
+                        "scenario missing from current run");
+            continue;
+        }
+        benchgate::checkPolicyMissRows(chk, cur, base,
+                                       cscen + ".policies",
+                                       bscen + ".policies",
+                                       "scenarios[" + *name + "]");
+    }
+    return chk.verdict("bench_realtime") ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -145,6 +217,9 @@ main(int argc, char **argv)
 
     std::size_t threads = 0;
     std::string out_path = "BENCH_realtime.json";
+    std::string baseline_path;
+    double tolerance = 25.0;
+    bool check_only = false;
     bool small = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -153,15 +228,33 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check-against") == 0 &&
+                   i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--tolerance") == 0 &&
+                   i + 1 < argc) {
+            tolerance = benchgate::parseToleranceArg(argv[++i]);
+        } else if (std::strcmp(argv[i], "--check-only") == 0) {
+            check_only = true;
         } else if (std::strcmp(argv[i], "--small") == 0) {
             small = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--threads N] [--out FILE] "
-                         "[--small]\n",
+                         "[--small] [--check-against BASELINE] "
+                         "[--tolerance PCT] [--check-only]\n",
                          argv[0]);
             return 1;
         }
+    }
+    if (check_only) {
+        if (baseline_path.empty()) {
+            std::fprintf(stderr,
+                         "--check-only requires --check-against\n");
+            return 1;
+        }
+        return checkAgainstBaseline(out_path, baseline_path,
+                                    tolerance);
     }
 
     std::FILE *json = std::fopen(out_path.c_str(), "w");
@@ -189,6 +282,9 @@ main(int argc, char **argv)
         runScenario(workload::arvrAOverloaded(overloaded60), acc));
     results.push_back(
         runScenario(workload::mixedTenantOverloaded(overloaded60),
+                    acc));
+    results.push_back(
+        runScenario(workload::interactiveOverloaded(overloaded60),
                     acc));
 
     std::printf("=== Real-time scenarios on %s (%s) ===\n",
@@ -288,5 +384,8 @@ main(int argc, char **argv)
                  dse_result.best().summary.sla.droppedFrames);
     std::fclose(json);
     std::printf("wrote %s\n", out_path.c_str());
+    if (!baseline_path.empty())
+        return checkAgainstBaseline(out_path, baseline_path,
+                                    tolerance);
     return 0;
 }

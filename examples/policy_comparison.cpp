@@ -1,18 +1,22 @@
 /**
  * @file
- * Scheduling-policy comparison on an over-subscribed real-time
- * scenario: FIFO vs EDF vs LST, each with and without hopeless-frame
- * dropping, on the overloaded mixed-tenant mix — then a small
+ * Scheduling-policy comparison on over-subscribed real-time
+ * scenarios: FIFO vs EDF vs LST, each with and without hopeless-frame
+ * dropping, plus LST with layer-boundary preemption points, dynamic
+ * doomed-frame shedding and grant hysteresis — then a small
  * hardware/policy co-design sweep showing that the best PE/BW
  * partition depends on the policy it will run.
  *
- * The scenario's shape is the one that separates the policies: light
+ * The scenario shapes are the ones that separate the policies: light
  * frame streams with multi-frame pipeline deadlines share the chip
  * with a heavy analytics job whose deadline is late in absolute terms
  * but almost equal to its execution time. EDF procrastinates on the
  * heavy job behind the nearer frame deadlines until it cannot finish;
  * LST (least slack first) starts it immediately, and the frames'
- * slack absorbs the wait.
+ * slack absorbs the wait. The interactive mix adds the preemption
+ * shape: tiny tight-deadline frames arriving in the middle of long
+ * heavy layers queue past their deadlines under run-to-completion
+ * dispatch but are served at arrival with preemption points.
  */
 
 #include <cmath>
@@ -61,19 +65,13 @@ main()
         {chip.numPes / 2, chip.numPes / 2},
         {chip.bwGBps / 2, chip.bwGBps / 2});
 
-    workload::Workload wl = workload::mixedTenantOverloaded(8);
-    std::printf("Scenario: %s — %zu frames on %s\n\n",
-                wl.name().c_str(), wl.numInstances(),
-                acc.name().c_str());
-    std::printf("  %-12s %7s  %9s  %5s  %8s  %10s\n", "policy",
-                "misses", "miss-rate", "drop", "p99(ms)",
-                "makespan(M)");
-
     struct Config
     {
         const char *label;
         sched::Policy policy;
         sched::DropPolicy drop;
+        sched::Preemption preemption = sched::Preemption::Off;
+        double hysteresis = 0.0;
     };
     const Config configs[] = {
         {"FIFO", sched::Policy::Fifo, sched::DropPolicy::None},
@@ -85,20 +83,44 @@ main()
         {"LST", sched::Policy::Lst, sched::DropPolicy::None},
         {"LST+drop", sched::Policy::Lst,
          sched::DropPolicy::HopelessFrames},
+        {"LST+doom", sched::Policy::Lst,
+         sched::DropPolicy::DoomedFrames},
+        {"LST+hyst", sched::Policy::Lst, sched::DropPolicy::None,
+         sched::Preemption::Off, /*hysteresis=*/1e6},
+        {"LST+preempt", sched::Policy::Lst, sched::DropPolicy::None,
+         sched::Preemption::AtLayerBoundary},
+        {"LST+pre+doom", sched::Policy::Lst,
+         sched::DropPolicy::DoomedFrames,
+         sched::Preemption::AtLayerBoundary},
     };
 
     cost::CostModel model;
-    for (const Config &config : configs) {
-        sched::SchedulerOptions opts;
-        opts.policy = config.policy;
-        opts.dropPolicy = config.drop;
-        sched::HeraldScheduler scheduler(model, opts);
-        sched::Schedule s = scheduler.schedule(wl, acc);
-        std::string issue = s.validate(wl, acc);
-        if (!issue.empty())
-            util::panic("invalid schedule: ", issue);
-        printRow(config.label, s.computeSla(wl),
-                 s.makespanCycles());
+    // The mixed-tenant mix doubles as the co-design sweep's workload
+    // below — one definition keeps the table and the sweep in sync.
+    workload::Workload wl = workload::mixedTenantOverloaded(8);
+    for (const workload::Workload &scenario :
+         {wl, workload::interactiveOverloaded(8)}) {
+        std::printf("Scenario: %s — %zu frames on %s\n\n",
+                    scenario.name().c_str(),
+                    scenario.numInstances(), acc.name().c_str());
+        std::printf("  %-12s %7s  %9s  %5s  %8s  %10s\n", "policy",
+                    "misses", "miss-rate", "drop", "p99(ms)",
+                    "makespan(M)");
+        for (const Config &config : configs) {
+            sched::SchedulerOptions opts;
+            opts.policy = config.policy;
+            opts.dropPolicy = config.drop;
+            opts.preemption = config.preemption;
+            opts.lstHysteresisCycles = config.hysteresis;
+            sched::HeraldScheduler scheduler(model, opts);
+            sched::Schedule s = scheduler.schedule(scenario, acc);
+            std::string issue = s.validate(scenario, acc);
+            if (!issue.empty())
+                util::panic("invalid schedule: ", issue);
+            printRow(config.label, s.computeSla(scenario),
+                     s.makespanCycles());
+        }
+        std::printf("\n");
     }
 
     // Hardware x policy co-design: sweep PE/BW partitions under the

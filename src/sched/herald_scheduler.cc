@@ -35,6 +35,18 @@ toString(Ordering ordering)
     util::panic("unknown Ordering");
 }
 
+const char *
+toString(Preemption preemption)
+{
+    switch (preemption) {
+      case Preemption::Off:
+        return "run-to-completion";
+      case Preemption::AtLayerBoundary:
+        return "preempt-at-layer";
+    }
+    util::panic("unknown Preemption");
+}
+
 HeraldScheduler::HeraldScheduler(cost::CostModel &model,
                                  SchedulerOptions options)
     : costModel(model), opts(options)
@@ -43,6 +55,8 @@ HeraldScheduler::HeraldScheduler(cost::CostModel &model,
         util::fatal("load-balancing factor must be >= 1");
     if (opts.lookaheadDepth < 0 || opts.maxPostPasses < 0)
         util::fatal("negative post-processing parameter");
+    if (opts.lstHysteresisCycles < 0.0)
+        util::fatal("negative LST hysteresis band");
 }
 
 Schedule
@@ -88,6 +102,12 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 
     std::size_t remaining = total_layers;
 
+    const bool preempt =
+        opts.preemption == Preemption::AtLayerBoundary;
+    const bool doom_drop = opts.dropPolicy == DropPolicy::DoomedFrames;
+    const bool hysteresis = opts.lstHysteresisCycles > 0.0 &&
+                            opts.effectivePolicy() == Policy::Lst;
+
     // Over-subscription admission control: a frame whose deadline
     // cannot be met even by running every layer back to back on its
     // best sub-accelerator starting at arrival is provably hopeless
@@ -95,7 +115,9 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     // layer chain is serial, and each layer needs at least its
     // best-case cycles) — shed it up front instead of letting it
     // steal cycles from frames that can still make their deadlines.
-    if (opts.dropPolicy == DropPolicy::HopelessFrames) {
+    // DoomedFrames runs the same proof at arrival and re-runs a
+    // schedule-state-aware variant at every dispatch decision below.
+    if (opts.dropPolicy != DropPolicy::None) {
         for (std::size_t i = 0; i < n_inst; ++i) {
             const workload::Instance &inst = instances[i];
             if (!inst.hasDeadline())
@@ -120,6 +142,34 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     MemoryTracker memory(acc.globalBufferBytes());
     memory.reserve(total_layers);
 
+    // --- Dynamic doomed-frame state (DropPolicy::DoomedFrames) ---
+    // Live deadline frames sit in a (deadline - remaining, idx)
+    // ordered set. deadline - remaining < now is exactly
+    // now + remaining > deadline, so as the "now" floor (the
+    // earliest any sub-accelerator frees up) advances monotonically,
+    // doomed frames surface at the front of the set and are shed in
+    // amortized O(log n) — no per-layer scan over all live frames.
+    // A frame whose own ready time (dependence chain) outruns the
+    // shared floor is re-tested individually right after it is
+    // scheduled, the only moment its ready time changes.
+    std::vector<std::size_t> uid;
+    std::set<std::pair<double, std::size_t>> doom_set;
+    std::vector<double> doom_key;
+    std::vector<char> in_doom;
+    if (doom_drop) {
+        uid.resize(n_inst);
+        for (std::size_t i = 0; i < n_inst; ++i)
+            uid[i] = wl.uniqueIdOfInstance(i);
+        doom_key.assign(n_inst, 0.0);
+        in_doom.assign(n_inst, 0);
+    }
+    auto min_avail = [&]() {
+        double lo = acc_avail[0];
+        for (std::size_t a = 1; a < n_acc; ++a)
+            lo = std::min(lo, acc_avail[a]);
+        return lo;
+    };
+
     // --- Event-driven instance release ---
     // The release clock (release_frontier) is the latest committed
     // end cycle; an instance competes for dispatch only once its
@@ -140,23 +190,87 @@ HeraldScheduler::schedule(const workload::Workload &wl,
               });
     std::size_t cursor = 0;
     std::size_t rotate = 0; // breadth-first round-robin cursor
+    std::size_t grant = SIZE_MAX; // hysteresis grant holder
     double release_frontier = 0.0;
 
     auto pending = [&](std::size_t idx) {
         return next_layer[idx] < layers_of[idx];
     };
+
+    // Shed a live frame mid-schedule: committed layers stay on the
+    // timeline (the cycles were really spent), the rest are
+    // cancelled, and the frame is recorded as dropped (and therefore
+    // missed). Only ever called under DropPolicy::DoomedFrames.
+    auto drop_live = [&](std::size_t idx) {
+        schedule.markDropped(idx);
+        remaining -= layers_of[idx] - next_layer[idx];
+        layers_of[idx] = next_layer[idx]; // pending() now false
+        policy->retire(idx);
+        if (in_doom[idx]) {
+            doom_set.erase(std::make_pair(doom_key[idx], idx));
+            in_doom[idx] = 0;
+        }
+    };
+    // Provably-doomed test against the evolving schedule: the next
+    // remaining layer cannot start before max(dependence-chain ready
+    // time, earliest sub-accelerator availability), and the chain
+    // needs at least its optimistic suffix — if even that lower
+    // bound overshoots the deadline, no continuation can save the
+    // frame.
+    auto doomed_now = [&](std::size_t idx, double now_floor) {
+        const workload::Instance &ri = instances[idx];
+        if (!ri.hasDeadline())
+            return false;
+        double now = std::max(ready_time[idx], now_floor);
+        double rem =
+            table.remainingCycles(uid[idx], next_layer[idx]);
+        return now + rem > ri.deadlineCycle + kEps;
+    };
+
     // Released instances with pending layers live in the policy's
     // (key, index)-ordered ready set; selection is the policy's
     // ordered-set lookup with the base order breaking ties —
-    // identical outcomes to the reference scan for FIFO/EDF.
+    // identical outcomes to the reference scan for FIFO/EDF. Under
+    // DoomedFrames a frame is doom-tested the moment it is released
+    // (its arrival may already be inside a backlog) and tracked in
+    // the doom set afterwards.
+    auto release_inst = [&](std::size_t idx) {
+        if (!pending(idx))
+            return;
+        policy->release(idx);
+        if (!doom_drop || !instances[idx].hasDeadline())
+            return;
+        if (doomed_now(idx, min_avail())) {
+            drop_live(idx);
+            return;
+        }
+        doom_key[idx] =
+            instances[idx].deadlineCycle -
+            table.remainingCycles(uid[idx], next_layer[idx]);
+        doom_set.emplace(doom_key[idx], idx);
+        in_doom[idx] = 1;
+    };
     auto release_up_to = [&](double frontier) {
         while (cursor < n_inst) {
             std::size_t idx = arrival_sorted[cursor];
             if (instances[idx].arrivalCycle > frontier + kEps)
                 break;
             ++cursor;
-            if (pending(idx))
-                policy->release(idx);
+            release_inst(idx);
+        }
+    };
+    // Preemptive release: everything arriving strictly before the
+    // tentatively planned commit's end joins the ready set now —
+    // called only when at least one such arrival is strictly more
+    // urgent than the planned instance, so FIFO (constant key) and
+    // deadline-free frames never trigger it.
+    auto release_window = [&](double end) {
+        while (cursor < n_inst) {
+            std::size_t idx = arrival_sorted[cursor];
+            if (instances[idx].arrivalCycle >= end - kEps)
+                break;
+            ++cursor;
+            release_inst(idx);
         }
     };
 
@@ -244,21 +358,22 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         return policy->selectFromRun(run, start_pos);
     };
 
-    release_up_to(release_frontier);
-
-    while (remaining > 0) {
-        // --- Layer ordering heuristic: pick the next instance ---
-        std::size_t inst = policy->selectReady(breadth, rotate);
-        if (inst == SIZE_MAX)
-            inst = select_future();
-        if (inst == SIZE_MAX)
-            util::panic("scheduler: no instance with pending layers");
-
-        const std::size_t layer_idx = next_layer[inst];
-        const std::size_t row = row_base[inst] + layer_idx;
+    // --- Tentative layer plan ---
+    // Everything the commit needs, computed without mutating any
+    // state: preemption points re-plan after releasing an urgent
+    // arrival, and only the finally selected plan is committed.
+    struct Plan
+    {
+        std::size_t acc = 0;
+        double start = 0.0;
+        double dur = 0.0; //!< includes the context penalty
+        double contextPenalty = 0.0;
+    };
+    auto plan_layer = [&](std::size_t inst) -> Plan {
+        const std::size_t row = row_base[inst] + next_layer[inst];
         const std::size_t *order = table.order(row);
 
-        // --- Load-balancing feedback: demote overloading choices ---
+        // Load-balancing feedback: demote overloading choices.
         std::size_t chosen = order[0];
         if (opts.loadBalance && n_acc > 1) {
             const double best_metric = table.metric(row, order[0]);
@@ -288,48 +403,144 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             }
         }
 
-        // --- Dependence + memory constrained start time ---
+        // Dependence + memory constrained start time.
+        Plan plan;
+        plan.acc = chosen;
         const accel::StyledLayerCost &sc = table.cost(row, chosen);
-        double dur = sc.cost.cycles;
-        double context_penalty = 0.0;
+        plan.dur = sc.cost.cycles;
         if (opts.contextChangeCycles > 0.0 &&
             acc_last_instance[chosen] != SIZE_MAX &&
             acc_last_instance[chosen] != inst) {
-            context_penalty = opts.contextChangeCycles;
-            dur += context_penalty;
+            plan.contextPenalty = opts.contextChangeCycles;
+            plan.dur += plan.contextPenalty;
         }
         double start =
             std::max(ready_time[inst], acc_avail[chosen]);
-        start = memory.firstFeasible(
-            start, dur,
+        plan.start = memory.firstFeasible(
+            start, plan.dur,
             static_cast<double>(sc.cost.l2FootprintBytes));
-        memory.add(start, dur,
+        return plan;
+    };
+
+    auto select_instance = [&]() {
+        std::size_t inst = policy->selectReady(
+            breadth, rotate, hysteresis ? grant : SIZE_MAX,
+            opts.lstHysteresisCycles);
+        if (inst == SIZE_MAX)
+            inst = select_future();
+        if (inst == SIZE_MAX)
+            util::panic("scheduler: no instance with pending layers");
+        return inst;
+    };
+
+    release_up_to(release_frontier);
+
+    while (remaining > 0) {
+        // --- Layer ordering heuristic: pick the next instance ---
+        std::size_t inst = select_instance();
+        Plan plan = plan_layer(inst);
+
+        // --- Preemption point (Preemption::AtLayerBoundary) ---
+        // Before committing, check whether the planned layer would
+        // span the arrival of a strictly more urgent frame (smaller
+        // policy key; the hysteresis band protects the grant holder
+        // here too). If so, release everything arriving inside the
+        // planned window and re-run selection — the urgent frame can
+        // claim the sub-accelerator at its arrival (inserted idle)
+        // instead of queueing behind a commit that had not actually
+        // happened yet. Each round releases at least one instance,
+        // so the loop terminates.
+        if (preempt) {
+            bool exhausted = false;
+            for (;;) {
+                const double end = plan.start + plan.dur;
+                double threshold = policy->keyOf(inst);
+                if (hysteresis && inst == grant)
+                    threshold -= opts.lstHysteresisCycles;
+                bool urgent = false;
+                for (std::size_t j = cursor; j < n_inst; ++j) {
+                    std::size_t idx = arrival_sorted[j];
+                    if (instances[idx].arrivalCycle >= end - kEps)
+                        break;
+                    if (pending(idx) &&
+                        policy->keyOf(idx) < threshold) {
+                        urgent = true;
+                        break;
+                    }
+                }
+                if (!urgent)
+                    break;
+                release_window(end);
+                // Under DoomedFrames a release can shed frames.
+                // Today a preemptively released frame can never be
+                // shed here (its arrival exceeds the committed
+                // frontier, so the release-time doom test reduces to
+                // the static proof it already passed), but that
+                // rests on a three-way invariant (cursor
+                // monotonicity, min availability <= frontier, the
+                // static pre-pass); guard against it breaking — with
+                // nothing left to schedule, select_instance() would
+                // panic and the commit below must not run.
+                if (remaining == 0) {
+                    exhausted = true;
+                    break;
+                }
+                inst = select_instance();
+                plan = plan_layer(inst);
+            }
+            if (exhausted)
+                break;
+        }
+
+        const std::size_t layer_idx = next_layer[inst];
+        const std::size_t row = row_base[inst] + layer_idx;
+        const accel::StyledLayerCost &sc = table.cost(row, plan.acc);
+        memory.add(plan.start, plan.dur,
                    static_cast<double>(sc.cost.l2FootprintBytes));
 
         ScheduledLayer entry;
         entry.instanceIdx = inst;
         entry.layerIdx = layer_idx;
-        entry.accIdx = chosen;
+        entry.accIdx = plan.acc;
         entry.style = sc.style;
-        entry.startCycle = start;
-        entry.endCycle = start + dur;
+        entry.startCycle = plan.start;
+        entry.endCycle = plan.start + plan.dur;
         entry.energyUnits = sc.cost.energyUnits;
         entry.l2FootprintBytes = sc.cost.l2FootprintBytes;
-        entry.contextPenaltyCycles = context_penalty;
+        entry.contextPenaltyCycles = plan.contextPenalty;
         schedule.add(entry);
 
         ready_time[inst] = entry.endCycle;
-        acc_avail[chosen] = entry.endCycle;
+        acc_avail[plan.acc] = entry.endCycle;
         release_frontier =
             std::max(release_frontier, entry.endCycle);
-        acc_last_instance[chosen] = inst;
+        acc_last_instance[plan.acc] = inst;
         ++next_layer[inst];
         --remaining;
         rotate = (inst + 1) % n_inst;
+        grant = inst;
 
         if (pending(inst)) {
             // Progress may change the policy's key (LST slack).
             policy->onLayerScheduled(inst);
+            if (doom_drop && in_doom[inst]) {
+                // Progress also moved the frame's ready time and
+                // shrank its remaining work: re-test it directly
+                // (the shared floor sweep below cannot see a ready
+                // time that outruns the floor), else re-key its
+                // doom-set entry.
+                if (doomed_now(inst, min_avail())) {
+                    drop_live(inst);
+                } else {
+                    doom_set.erase(
+                        std::make_pair(doom_key[inst], inst));
+                    doom_key[inst] =
+                        instances[inst].deadlineCycle -
+                        table.remainingCycles(uid[inst],
+                                              next_layer[inst]);
+                    doom_set.emplace(doom_key[inst], inst);
+                }
+            }
         } else {
             // Exhausted: drop it from the ready set. (A one-layer
             // model exhausted by the fallback before its release was
@@ -337,8 +548,26 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             // pending() checks keep the release sweep and fallback
             // scans from resurrecting it.)
             policy->retire(inst);
+            if (doom_drop && in_doom[inst]) {
+                doom_set.erase(std::make_pair(doom_key[inst], inst));
+                in_doom[inst] = 0;
+            }
         }
         release_up_to(release_frontier);
+
+        // --- Doomed-frame sweep ---
+        // The floor (earliest any sub-accelerator frees up) only
+        // ever advances; every live frame whose (deadline -
+        // remaining) key fell behind it can no longer finish in
+        // time under any continuation — shed them now rather than
+        // letting them burn cycles the still-savable frames need.
+        if (doom_drop) {
+            const double floor = min_avail();
+            while (!doom_set.empty() &&
+                   doom_set.begin()->first < floor - kEps) {
+                drop_live(doom_set.begin()->second);
+            }
+        }
     }
 
     if (opts.postProcess)

@@ -65,6 +65,38 @@ enum class Ordering
 
 const char *toString(Ordering ordering);
 
+/**
+ * Preemption granularity of the dispatch loop.
+ *
+ * Off reproduces the PR 4 run-to-completion semantics: an instance
+ * only competes for dispatch once the committed-schedule frontier has
+ * passed its arrival, so a long low-priority layer is always allowed
+ * to start greedily even when an urgent frame arrives in the middle
+ * of it — the urgent frame then queues behind the committed work.
+ *
+ * AtLayerBoundary re-runs instance selection before *every* layer
+ * commit: when the tentatively planned layer would span the arrival
+ * of a strictly more urgent frame (smaller policy key — EDF deadline
+ * or LST slack), that frame is released immediately and selection is
+ * re-run, letting the urgent arrival interleave its layers into the
+ * running frame's chain. The displaced layer was never committed, so
+ * nothing is undone; the sub-accelerator may idle until the urgent
+ * arrival (inserted idle — layers stay atomic). Context-change
+ * penalties remain exact (they are charged at commit time from the
+ * actual adjacency, and checkContextPenalties() still asserts them)
+ * and schedules stay deterministic and bit-identical across thread
+ * counts: the decision reads only committed-schedule state and the
+ * strict (key, idx) order. FIFO's constant key never fires the
+ * urgency test, so FIFO schedules are identical under both settings.
+ */
+enum class Preemption
+{
+    Off,            //!< run-to-completion (PR 4 bit-identical)
+    AtLayerBoundary //!< re-select before every commit; see above
+};
+
+const char *toString(Preemption preemption);
+
 /** Scheduler tuning knobs. */
 struct SchedulerOptions
 {
@@ -97,6 +129,26 @@ struct SchedulerOptions
      * count as deadline misses.
      */
     DropPolicy dropPolicy = DropPolicy::None;
+
+    /**
+     * Dispatch-loop preemption points (see Preemption). Off is
+     * bit-identical to the PR 4 scheduler; AtLayerBoundary lets
+     * urgent arrivals claim a sub-accelerator before a long
+     * lower-priority layer is committed across their arrival.
+     */
+    Preemption preemption = Preemption::Off;
+
+    /**
+     * LST grant hysteresis in cycles (0 disables). With many live
+     * frames at near-equal slack, least-slack dispatch re-keys per
+     * retired layer and degenerates into processor sharing — every
+     * frame advances one layer per round, every switch pays the
+     * context-change penalty, and nobody finishes early. With a
+     * positive band the most recently dispatched instance keeps the
+     * grant until a competitor's key undercuts it by more than the
+     * band. Only consulted when the effective policy is LST.
+     */
+    double lstHysteresisCycles = 0.0;
 
     /** The policy after resolving the deprecated alias. */
     Policy

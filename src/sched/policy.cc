@@ -27,6 +27,8 @@ toString(DropPolicy drop)
         return "no-drop";
       case DropPolicy::HopelessFrames:
         return "drop-hopeless";
+      case DropPolicy::DoomedFrames:
+        return "drop-doomed";
     }
     util::panic("unknown DropPolicy");
 }
@@ -74,11 +76,21 @@ SelectionPolicy::rekey(std::size_t idx)
 }
 
 std::size_t
-SelectionPolicy::selectReady(bool breadth, std::size_t rotate) const
+SelectionPolicy::selectReady(bool breadth, std::size_t rotate,
+                             std::size_t grant,
+                             double hysteresis_band) const
 {
     if (ready.empty())
         return SIZE_MAX;
     auto first = ready.begin();
+    // Hysteresis: the granted instance keeps the floor unless the
+    // best competitor undercuts its key by more than the band. Only
+    // an active band changes anything — with band <= 0 the branch is
+    // never taken and selection is the exact historical rule.
+    if (hysteresis_band > 0.0 && grant != SIZE_MAX && member[grant] &&
+        first->first >= currentKey[grant] - hysteresis_band) {
+        return grant;
+    }
     if (breadth) {
         auto it =
             ready.lower_bound(std::make_pair(first->first, rotate));

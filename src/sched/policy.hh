@@ -60,6 +60,25 @@ enum class DropPolicy
      * SlaStats::droppedFrames). Never drops deadline-free frames.
      */
     HopelessFrames,
+    /**
+     * HopelessFrames plus a *dynamic* re-test at every dispatch
+     * decision: a live frame is shed the moment
+     *
+     *     now + optimistic remaining work > deadline
+     *
+     * where "now" is a lower bound on the frame's next possible start
+     * (its dependence-chain ready time, never earlier than the
+     * earliest sub-accelerator availability) and the remaining work
+     * is the LayerCostTable's best-case suffix sum — so the drop is
+     * still provable, it just uses the evolving schedule state
+     * instead of only the arrival-time proof. A frame shed mid-flight
+     * keeps its already-committed layers on the timeline (they
+     * consumed real cycles) but schedules nothing further; it is
+     * counted as dropped *and* missed. Deterministic: the test reads
+     * only committed-schedule state. Never drops deadline-free
+     * frames.
+     */
+    DoomedFrames,
 };
 
 const char *toString(Policy policy);
@@ -103,8 +122,20 @@ class SelectionPolicy
      * breaking ties — under breadth-first ordering the round-robin
      * @p rotate cursor picks the first tied instance at or after it.
      * Returns SIZE_MAX when the set is empty.
+     *
+     * Hysteresis (ROADMAP follow-up (a)): when @p grant is a ready
+     * instance and @p hysteresis_band > 0, the granted instance is
+     * kept unless some competitor's key undercuts the grant's
+     * current key by more than the band — least-slack dispatch
+     * re-keys per retired layer, and without the band many live
+     * frames with near-equal slack degenerate into processor
+     * sharing (one layer each, round and round), paying a context
+     * change at every switch. Pass grant = SIZE_MAX (or band = 0)
+     * for the exact historical selection.
      */
-    std::size_t selectReady(bool breadth, std::size_t rotate) const;
+    std::size_t selectReady(bool breadth, std::size_t rotate,
+                            std::size_t grant = SIZE_MAX,
+                            double hysteresis_band = 0.0) const;
 
     /**
      * Tie-break an exact-equal arrival band of the nothing-arrived

@@ -247,6 +247,12 @@ referenceSchedule(cost::CostModel &model,
     if (opts.dropPolicy != DropPolicy::None)
         util::panic("referenceSchedule: drop policies are not "
                     "implemented by the reference oracle");
+    if (opts.preemption != Preemption::Off)
+        util::panic("referenceSchedule: preemption points are not "
+                    "implemented by the reference oracle");
+    if (opts.lstHysteresisCycles != 0.0)
+        util::panic("referenceSchedule: LST hysteresis is not "
+                    "implemented by the reference oracle");
     const bool deadline_aware = opts.effectivePolicy() == Policy::Edf;
 
     const std::size_t n_inst = wl.numInstances();

@@ -54,13 +54,15 @@ Schedule::add(ScheduledLayer entry)
 void
 Schedule::markDropped(std::size_t instance_idx)
 {
-    if (!droppedList.empty() && droppedList.back() >= instance_idx) {
-        if (isDropped(instance_idx))
-            return;
-        util::panic("markDropped: instances must be dropped in "
-                    "ascending order");
-    }
-    droppedList.push_back(instance_idx);
+    // Sorted insert: admission-time drops arrive in ascending
+    // instance order, but dynamic (mid-schedule) drops arrive in
+    // doom order — keep the list sorted so isDropped stays a binary
+    // search and identicalTo stays order-insensitive.
+    auto it = std::lower_bound(droppedList.begin(),
+                               droppedList.end(), instance_idx);
+    if (it != droppedList.end() && *it == instance_idx)
+        return; // duplicate
+    droppedList.insert(it, instance_idx);
 }
 
 bool
@@ -222,29 +224,29 @@ Schedule::validate(const workload::Workload &wl,
         return err.str();
     }
 
-    // Dropped frames are intentionally absent: none of their layers
-    // may appear, and completeness is judged on the remainder.
-    std::size_t dropped_layers = 0;
+    // Dropped frames are intentionally incomplete: a frame shed at
+    // admission has no layers at all, a frame shed mid-schedule
+    // (dynamic doomed-frame drop) keeps the prefix it had already
+    // committed — in either case the scheduled layers must form a
+    // dependence-chain prefix, and completeness is judged on the
+    // remainder.
     for (std::size_t d : droppedList) {
         if (d >= wl.numInstances()) {
             err << "dropped instance " << d << " out of range";
             return err.str();
         }
-        dropped_layers += wl.modelOf(d).numLayers();
     }
 
-    // Completeness: every non-dropped (instance, layer) exactly once.
+    // Completeness: every non-dropped (instance, layer) exactly
+    // once; dropped instances contribute a (possibly empty) prefix.
     std::map<std::pair<std::size_t, std::size_t>, const ScheduledLayer *>
         seen;
+    std::vector<std::size_t> layer_count(wl.numInstances(), 0);
+    std::vector<std::size_t> max_layer(wl.numInstances(), 0);
     for (const ScheduledLayer &e : list) {
         if (e.instanceIdx >= wl.numInstances()) {
             err << "entry references instance " << e.instanceIdx
                 << " out of range";
-            return err.str();
-        }
-        if (isDropped(e.instanceIdx)) {
-            err << "dropped instance " << e.instanceIdx
-                << " has a scheduled layer";
             return err.str();
         }
         const dnn::Model &model = wl.modelOf(e.instanceIdx);
@@ -260,12 +262,32 @@ Schedule::validate(const workload::Workload &wl,
             return err.str();
         }
         seen[key] = &e;
+        ++layer_count[e.instanceIdx];
+        max_layer[e.instanceIdx] =
+            std::max(max_layer[e.instanceIdx], e.layerIdx);
     }
-    if (seen.size() != wl.totalLayers() - dropped_layers) {
-        err << "schedule has " << seen.size() << " layers, workload has "
-            << wl.totalLayers() - dropped_layers
-            << " after " << droppedList.size() << " dropped frames";
-        return err.str();
+    for (std::size_t i = 0; i < wl.numInstances(); ++i) {
+        const std::size_t expect = wl.modelOf(i).numLayers();
+        if (isDropped(i)) {
+            // Uniqueness holds, so "prefix" == the max scheduled
+            // layer index is count - 1.
+            if (layer_count[i] > 0 &&
+                max_layer[i] != layer_count[i] - 1) {
+                err << "dropped instance " << i << " scheduled "
+                    << layer_count[i]
+                    << " layers that are not a chain prefix";
+                return err.str();
+            }
+            if (layer_count[i] >= expect) {
+                err << "dropped instance " << i
+                    << " is fully scheduled";
+                return err.str();
+            }
+        } else if (layer_count[i] != expect) {
+            err << "instance " << i << " has " << layer_count[i]
+                << " scheduled layers, model has " << expect;
+            return err.str();
+        }
     }
 
     // Arrival: no layer starts before its instance arrives.

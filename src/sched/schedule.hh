@@ -126,11 +126,14 @@ class Schedule
     void reserve(std::size_t num_entries) { list.reserve(num_entries); }
 
     /**
-     * Record that instance @p instance_idx was rejected by the drop
-     * policy: none of its layers will appear in the schedule, and
-     * validate()/computeSla() treat the absence as intentional (a
-     * dropped frame is still a deadline miss). Call in ascending
-     * instance order; duplicates are ignored.
+     * Record that instance @p instance_idx was shed by the drop
+     * policy: no *further* layers of it will appear in the schedule.
+     * A frame dropped at admission has no layers at all; a frame
+     * dropped mid-schedule (DropPolicy::DoomedFrames) keeps the
+     * dependence-chain prefix it had already committed. validate()
+     * accepts exactly those shapes and computeSla() counts every
+     * dropped frame as a deadline miss with unbounded latency.
+     * Any call order; duplicates are ignored.
      */
     void markDropped(std::size_t instance_idx);
 

@@ -328,4 +328,33 @@ mixedTenantOverloaded(int frames60, double overload,
     return wl;
 }
 
+Workload
+interactiveOverloaded(int frames60, double overload,
+                      double clock_ghz)
+{
+    if (frames60 < 1)
+        util::fatal("interactiveOverloaded: frames60 must be >= 1");
+    if (overload <= 1.0)
+        util::fatal("interactiveOverloaded: overload must be > 1");
+    Workload wl("interactive overloaded");
+    const double p = fpsPeriodCycles(60.0, clock_ghz) / overload;
+    // Heavy analytics pair: FocalLengthDepthNet's individual layers
+    // run for multiple interactive periods on the edge chip, so a
+    // greedily committed layer spans several frame arrivals. The SLA
+    // is loose (roughly 4x one job's optimistic runtime even with
+    // both sharing the chip) — these jobs tolerate being interleaved
+    // around the frames, they just must not be starved forever.
+    wl.addModel(dnn::focalLengthDepthNet(), 2, /*arrival=*/0.0,
+                /*deadline=*/4e8);
+    // Interactive stream: tiny frames at overload x 60 FPS with a
+    // deadline well inside one period (~1.7x the frame's optimistic
+    // runtime) and a phase that drops every arrival into the middle
+    // of a heavy layer. Run-to-completion dispatch queues each frame
+    // behind the heavy layer committed across its arrival; a
+    // preemption point serves it at the arrival instead.
+    wl.addPeriodicModel(dnn::mobileNetV2(), frames60, p,
+                        /*deadline=*/0.7 * p, /*phase=*/0.37 * p);
+    return wl;
+}
+
 } // namespace herald::workload

@@ -195,6 +195,23 @@ Workload mixedTenantOverloaded(int frames60 = 8,
                                double overload = 6.0,
                                double clock_ghz = 1.0);
 
+/**
+ * Over-subscribed interactive mix: two heavy loose-SLA analytics
+ * jobs (long individual layers) sharing the chip with a dense
+ * tight-deadline interactive frame stream whose arrivals land in the
+ * middle of the heavy layers. This is the shape where dispatch-loop
+ * preemption points (sched::Preemption::AtLayerBoundary) win: a
+ * run-to-completion scheduler greedily commits the long heavy layer
+ * across the interactive arrival and the frame then queues behind
+ * it past its deadline, while a preemption point holds the
+ * sub-accelerator for the urgent arrival and slips the heavy layer
+ * in afterwards. Frame rate is 60 FPS x @p overload with deadlines
+ * well under one period.
+ */
+Workload interactiveOverloaded(int frames60 = 8,
+                               double overload = 4.0,
+                               double clock_ghz = 1.0);
+
 } // namespace herald::workload
 
 #endif // HERALD_WORKLOAD_WORKLOAD_HH

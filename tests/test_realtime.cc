@@ -16,6 +16,7 @@
 #include "dnn/model_zoo.hh"
 #include "dse/herald_dse.hh"
 #include "sched/herald_scheduler.hh"
+#include "sched/layer_cost_table.hh"
 #include "util/logging.hh"
 #include "workload/workload.hh"
 
@@ -617,6 +618,308 @@ TEST_F(RealtimeTest, OverloadedFactoryScenariosAreOverSubscribed)
         edf.policy = sched::Policy::Edf;
         Schedule s = HeraldScheduler(model, edf).schedule(wl, acc);
         EXPECT_GT(s.computeSla(wl).deadlineMisses, 0u) << wl.name();
+    }
+}
+
+// ---------------------------------------------------------------
+// Preemption points, dynamic doomed-frame drop, LST hysteresis
+// ---------------------------------------------------------------
+
+TEST_F(RealtimeTest, InteractiveOverloadedFactoryShape)
+{
+    Workload wl = workload::interactiveOverloaded(8);
+    EXPECT_TRUE(wl.hasArrivals());
+    EXPECT_TRUE(wl.hasDeadlines());
+    // 2 heavy analytics jobs + 8 interactive frames.
+    EXPECT_EQ(wl.numInstances(), 10u);
+    // Over-subscribed for run-to-completion dispatch: even LST
+    // misses deadlines without preemption points.
+    Accelerator acc = miniHda();
+    SchedulerOptions lst;
+    lst.policy = sched::Policy::Lst;
+    Schedule s = HeraldScheduler(model, lst).schedule(wl, acc);
+    EXPECT_GT(s.computeSla(wl).deadlineMisses, 0u);
+}
+
+TEST_F(RealtimeTest, PreemptionBeatsRunToCompletionLst)
+{
+    // The tentpole separation (acceptance criterion): interactive
+    // arrivals land mid-heavy-layer, so run-to-completion LST queues
+    // them behind committed work past their deadlines while a
+    // preemption point serves them at arrival — strictly fewer
+    // misses, with and without the dynamic drop riding along.
+    Accelerator acc = miniHda();
+    for (int frames : {4, 8}) {
+        Workload wl = workload::interactiveOverloaded(frames);
+        SchedulerOptions rtc;
+        rtc.policy = sched::Policy::Lst;
+        SchedulerOptions pre = rtc;
+        pre.preemption = sched::Preemption::AtLayerBoundary;
+        SchedulerOptions pre_drop = pre;
+        pre_drop.dropPolicy = sched::DropPolicy::DoomedFrames;
+        Schedule s_rtc =
+            HeraldScheduler(model, rtc).schedule(wl, acc);
+        Schedule s_pre =
+            HeraldScheduler(model, pre).schedule(wl, acc);
+        Schedule s_pre_drop =
+            HeraldScheduler(model, pre_drop).schedule(wl, acc);
+        EXPECT_EQ(s_rtc.validate(wl, acc), "");
+        EXPECT_EQ(s_pre.validate(wl, acc), "");
+        EXPECT_EQ(s_pre_drop.validate(wl, acc), "");
+        sched::SlaStats rtc_sla = s_rtc.computeSla(wl);
+        EXPECT_LT(s_pre.computeSla(wl).deadlineMisses,
+                  rtc_sla.deadlineMisses)
+            << "frames=" << frames;
+        EXPECT_LT(s_pre_drop.computeSla(wl).deadlineMisses,
+                  rtc_sla.deadlineMisses)
+            << "frames=" << frames;
+    }
+}
+
+TEST_F(RealtimeTest, PreemptionIsExactNoOpForFifo)
+{
+    // FIFO's constant key can never mark an arrival as strictly
+    // more urgent, so the preemption machinery must be a no-op:
+    // bit-identical schedules on every scenario shape.
+    Accelerator acc = miniHda();
+    for (const Workload &wl :
+         {workload::interactiveOverloaded(4),
+          workload::arvrAOverloaded(4), miniRealtime()}) {
+        SchedulerOptions off;
+        SchedulerOptions pre;
+        pre.preemption = sched::Preemption::AtLayerBoundary;
+        Schedule a = HeraldScheduler(model, off).schedule(wl, acc);
+        Schedule b = HeraldScheduler(model, pre).schedule(wl, acc);
+        EXPECT_TRUE(a.identicalTo(b)) << wl.name();
+    }
+}
+
+TEST_F(RealtimeTest, PreemptionDeterministicAcrossThreadCounts)
+{
+    // The preemption decision reads only committed-schedule state,
+    // so prefill-thread fan-out must not perturb it. The workload is
+    // padded with deadline-carrying zoo models on a 4-way HDA so the
+    // cost table crosses LayerCostTable::kMinParallelEvals and the
+    // pool genuinely spins up (below the gate the prefill is serial
+    // and the comparison would be vacuous).
+    Accelerator acc = Accelerator::makeHda(
+        accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+         DataflowStyle::Eyeriss, DataflowStyle::NVDLA},
+        {256, 256, 256, 256}, {4.0, 4.0, 4.0, 4.0});
+    Workload wl = workload::interactiveOverloaded(8);
+    wl.addModel(dnn::resnet50(), 1, 1e6, 9e7);
+    wl.addModel(dnn::uNet(), 1, 2e6, 8e8);
+    wl.addModel(dnn::ssdResnet34(), 1, 3e6, 9e8);
+    wl.addModel(dnn::gnmt(), 1, 4e6, 9e8);
+    wl.addModel(dnn::mobileNetV1(), 2, 5e6, 6e7);
+    ASSERT_GE(wl.totalLayers() * acc.numSubAccs(),
+              sched::LayerCostTable::kMinParallelEvals)
+        << "workload too small to engage the parallel prefill";
+    for (auto drop : {sched::DropPolicy::None,
+                      sched::DropPolicy::DoomedFrames}) {
+        SchedulerOptions serial;
+        serial.policy = sched::Policy::Lst;
+        serial.preemption = sched::Preemption::AtLayerBoundary;
+        serial.dropPolicy = drop;
+        serial.prefillThreads = 1;
+        SchedulerOptions parallel = serial;
+        parallel.prefillThreads = 7;
+        Schedule a =
+            HeraldScheduler(model, serial).schedule(wl, acc);
+        Schedule b =
+            HeraldScheduler(model, parallel).schedule(wl, acc);
+        EXPECT_TRUE(a.identicalTo(b))
+            << sched::toString(drop);
+        Schedule c =
+            HeraldScheduler(model, serial).schedule(wl, acc);
+        EXPECT_TRUE(a.identicalTo(c)) << "rerun divergence";
+    }
+}
+
+TEST_F(RealtimeTest, DoomedFramesShedMidFlight)
+{
+    // Transient overload: a heavy straggler with a moderate deadline
+    // is on track until a tight burst lands mid-flight. The dynamic
+    // drop sheds frames that *become* doomed after partial
+    // scheduling — their committed prefix stays on the timeline,
+    // they count as dropped and missed, and the static
+    // HopelessFrames test (arrival-time proof only) cannot see them.
+    Workload wl("transient-burst");
+    wl.addModel(dnn::resnet50(), 1, 0.0, 2.2e7);
+    wl.addModel(dnn::mobileNetV2(), 6, 3e6, 4e6);
+    Accelerator acc = miniHda();
+    for (auto policy : {sched::Policy::Edf, sched::Policy::Lst}) {
+        SchedulerOptions doomed;
+        doomed.policy = policy;
+        doomed.dropPolicy = sched::DropPolicy::DoomedFrames;
+        SchedulerOptions hopeless = doomed;
+        hopeless.dropPolicy = sched::DropPolicy::HopelessFrames;
+        Schedule sd =
+            HeraldScheduler(model, doomed).schedule(wl, acc);
+        Schedule sh =
+            HeraldScheduler(model, hopeless).schedule(wl, acc);
+        EXPECT_EQ(sd.validate(wl, acc), "");
+        ASSERT_GT(sd.droppedInstances().size(), 0u);
+        // Nothing is hopeless at arrival — every drop is dynamic.
+        EXPECT_TRUE(sh.droppedInstances().empty());
+        // At least one shed frame keeps a committed prefix.
+        std::map<std::size_t, std::size_t> count;
+        for (const sched::ScheduledLayer &e : sd.entries())
+            ++count[e.instanceIdx];
+        std::size_t midflight = 0;
+        for (std::size_t d : sd.droppedInstances()) {
+            auto it = count.find(d);
+            if (it == count.end())
+                continue;
+            ++midflight;
+            EXPECT_LT(it->second, wl.modelOf(d).numLayers());
+        }
+        EXPECT_GT(midflight, 0u) << sched::toString(policy);
+        sched::SlaStats sla = sd.computeSla(wl);
+        EXPECT_EQ(sla.droppedFrames, sd.droppedInstances().size());
+        EXPECT_GE(sla.deadlineMisses, sla.droppedFrames);
+        for (std::size_t d : sd.droppedInstances()) {
+            EXPECT_TRUE(sla.perInstance[d].dropped);
+            EXPECT_TRUE(sla.perInstance[d].missed);
+            EXPECT_FALSE(sla.perInstance[d].scheduled);
+        }
+    }
+}
+
+TEST_F(RealtimeTest, DoomedDropsSupersetOfHopelessDrops)
+{
+    // The dynamic test at "now" with partial progress can only ever
+    // shed *more* than the arrival-time proof: every statically
+    // hopeless frame is also doomed at release.
+    Accelerator acc = miniHda();
+    for (int frames : {2, 4, 8}) {
+        for (const Workload &wl :
+             {workload::arvrAOverloaded(frames),
+              workload::mixedTenantOverloaded(frames)}) {
+            for (auto policy :
+                 {sched::Policy::Fifo, sched::Policy::Edf,
+                  sched::Policy::Lst}) {
+                SchedulerOptions hopeless;
+                hopeless.policy = policy;
+                hopeless.dropPolicy =
+                    sched::DropPolicy::HopelessFrames;
+                SchedulerOptions doomed = hopeless;
+                doomed.dropPolicy = sched::DropPolicy::DoomedFrames;
+                Schedule sh = HeraldScheduler(model, hopeless)
+                                  .schedule(wl, acc);
+                Schedule sd = HeraldScheduler(model, doomed)
+                                  .schedule(wl, acc);
+                EXPECT_EQ(sd.validate(wl, acc), "") << wl.name();
+                EXPECT_TRUE(std::includes(
+                    sd.droppedInstances().begin(),
+                    sd.droppedInstances().end(),
+                    sh.droppedInstances().begin(),
+                    sh.droppedInstances().end()))
+                    << wl.name() << " " << sched::toString(policy);
+            }
+        }
+    }
+}
+
+TEST_F(RealtimeTest, DoomedFramesCutMissesOnOverloadedScenario)
+{
+    // Shedding work that provably cannot finish frees the cycles the
+    // savable frames need: on the over-subscribed AR/VR mix the
+    // dynamic drop cuts LST misses sharply (every miss left is a
+    // shed frame, every survivor completes in time).
+    Accelerator acc = miniHda();
+    Workload wl = workload::arvrAOverloaded(8);
+    SchedulerOptions keep;
+    keep.policy = sched::Policy::Lst;
+    SchedulerOptions doomed = keep;
+    doomed.dropPolicy = sched::DropPolicy::DoomedFrames;
+    Schedule sk = HeraldScheduler(model, keep).schedule(wl, acc);
+    Schedule sd = HeraldScheduler(model, doomed).schedule(wl, acc);
+    sched::SlaStats kept = sk.computeSla(wl);
+    sched::SlaStats shed = sd.computeSla(wl);
+    EXPECT_LT(shed.deadlineMisses, kept.deadlineMisses);
+    EXPECT_EQ(shed.deadlineMisses, shed.droppedFrames)
+        << "every remaining miss should be an intentional shed";
+}
+
+TEST_F(RealtimeTest, DoomedFramesNoOpWhenEveryFrameIsFeasible)
+{
+    // Generous deadlines: the doom test never fires and the whole
+    // machinery must leave the schedule bit-identical.
+    Workload wl = miniRealtime();
+    Accelerator acc = miniHda();
+    for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf,
+                        sched::Policy::Lst}) {
+        SchedulerOptions keep;
+        keep.policy = policy;
+        SchedulerOptions doomed = keep;
+        doomed.dropPolicy = sched::DropPolicy::DoomedFrames;
+        Schedule a = HeraldScheduler(model, keep).schedule(wl, acc);
+        Schedule b =
+            HeraldScheduler(model, doomed).schedule(wl, acc);
+        EXPECT_TRUE(a.identicalTo(b)) << sched::toString(policy);
+        EXPECT_TRUE(b.droppedInstances().empty());
+    }
+}
+
+TEST_F(RealtimeTest, LstHysteresisReducesThrashNotQuality)
+{
+    // ROADMAP follow-up (a): near-equal slack degenerates LST into
+    // processor sharing (one layer per frame, round and round). The
+    // hysteresis band keeps the grant with the running frame, which
+    // must cut dispatch-order switches without costing misses on the
+    // over-subscribed tenant mix.
+    Accelerator acc = miniHda();
+    Workload wl = workload::mixedTenantOverloaded(8);
+    auto switches = [](const Schedule &s) {
+        std::size_t n = 0;
+        for (std::size_t i = 1; i < s.entries().size(); ++i) {
+            n += s.entries()[i].instanceIdx !=
+                 s.entries()[i - 1].instanceIdx;
+        }
+        return n;
+    };
+    SchedulerOptions base;
+    base.policy = sched::Policy::Lst;
+    SchedulerOptions hyst = base;
+    hyst.lstHysteresisCycles = 1e6;
+    Schedule sb = HeraldScheduler(model, base).schedule(wl, acc);
+    Schedule sh = HeraldScheduler(model, hyst).schedule(wl, acc);
+    EXPECT_EQ(sh.validate(wl, acc), "");
+    EXPECT_LT(switches(sh), switches(sb))
+        << "the band should suppress processor-sharing thrash";
+    EXPECT_LE(sh.computeSla(wl).deadlineMisses,
+              sb.computeSla(wl).deadlineMisses);
+
+    // With a real context-change penalty the suppressed switches
+    // stop paying the switch tax: the band strictly cuts misses.
+    SchedulerOptions ctx_base = base;
+    ctx_base.contextChangeCycles = 1e4;
+    SchedulerOptions ctx_hyst = ctx_base;
+    ctx_hyst.lstHysteresisCycles = 1e6;
+    Schedule cb =
+        HeraldScheduler(model, ctx_base).schedule(wl, acc);
+    Schedule ch =
+        HeraldScheduler(model, ctx_hyst).schedule(wl, acc);
+    EXPECT_EQ(ch.validate(wl, acc), "");
+    EXPECT_LT(ch.computeSla(wl).deadlineMisses,
+              cb.computeSla(wl).deadlineMisses);
+}
+
+TEST_F(RealtimeTest, HysteresisIsNoOpForNonLstPolicies)
+{
+    // The band is an LST knob: FIFO/EDF selection must be untouched.
+    Accelerator acc = miniHda();
+    Workload wl = workload::mixedTenantOverloaded(4);
+    for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf}) {
+        SchedulerOptions off;
+        off.policy = policy;
+        SchedulerOptions band = off;
+        band.lstHysteresisCycles = 1e6;
+        Schedule a = HeraldScheduler(model, off).schedule(wl, acc);
+        Schedule b = HeraldScheduler(model, band).schedule(wl, acc);
+        EXPECT_TRUE(a.identicalTo(b)) << sched::toString(policy);
     }
 }
 

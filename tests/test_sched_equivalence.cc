@@ -179,6 +179,49 @@ TEST_F(SchedEquivalenceTest, AllScenariosAllPolicyCombinations)
     }
 }
 
+TEST_F(SchedEquivalenceTest, PreemptionOffStaysPr4BitIdentical)
+{
+    // Acceptance criterion: Preemption::Off (explicitly spelled, not
+    // just defaulted) must keep every equivalence-grid combination
+    // bit-identical to the pre-preemption reference oracle — the
+    // preemption machinery has to be completely inert when off.
+    Accelerator acc = edgeHda();
+    for (const NamedWorkload &s : scenarios()) {
+        for (auto policy :
+             {sched::Policy::Fifo, sched::Policy::Edf}) {
+            for (bool pp : {false, true}) {
+                SchedulerOptions opts;
+                opts.policy = policy;
+                opts.preemption = sched::Preemption::Off;
+                opts.postProcess = pp;
+                expectEquivalent(s.wl, acc, opts,
+                                 s.name + "/preempt-off/" +
+                                     sched::toString(policy) +
+                                     (pp ? "/pp" : "/nopp"));
+            }
+        }
+    }
+}
+
+TEST_F(SchedEquivalenceTest, FifoNeverPreempts)
+{
+    // FIFO's constant priority key can never mark an arrival as
+    // strictly more urgent, so even with preemption points enabled
+    // the production schedule must equal the (preemption-free)
+    // reference oracle bit for bit.
+    Accelerator acc = edgeHda();
+    for (const NamedWorkload &s : scenarios()) {
+        SchedulerOptions pre;
+        pre.preemption = sched::Preemption::AtLayerBoundary;
+        HeraldScheduler scheduler(model, pre);
+        Schedule fast = scheduler.schedule(s.wl, acc);
+        SchedulerOptions off; // reference rejects preemption opts
+        Schedule ref =
+            sched::referenceSchedule(model, off, s.wl, acc);
+        EXPECT_TRUE(fast.identicalTo(ref)) << s.name;
+    }
+}
+
 TEST_F(SchedEquivalenceTest, DeprecatedDeadlineAwareAliasStaysIdentical)
 {
     // The deprecated bool must route through the same EDF path the

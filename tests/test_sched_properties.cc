@@ -151,6 +151,9 @@ enum class OptKind
     DeadlineAware,
     LeastSlack,
     LeastSlackDrop,
+    Preempt,
+    PreemptDoom,
+    Hysteresis,
 };
 
 const char *
@@ -175,6 +178,12 @@ name(OptKind kind)
         return "lst";
       case OptKind::LeastSlackDrop:
         return "lstdrop";
+      case OptKind::Preempt:
+        return "preempt";
+      case OptKind::PreemptDoom:
+        return "preemptdoom";
+      case OptKind::Hysteresis:
+        return "hysteresis";
     }
     return "?";
 }
@@ -212,6 +221,20 @@ makeOptions(OptKind kind)
       case OptKind::LeastSlackDrop:
         opts.policy = sched::Policy::Lst;
         opts.dropPolicy = sched::DropPolicy::HopelessFrames;
+        break;
+      case OptKind::Preempt:
+        opts.policy = sched::Policy::Lst;
+        opts.preemption = sched::Preemption::AtLayerBoundary;
+        break;
+      case OptKind::PreemptDoom:
+        opts.policy = sched::Policy::Lst;
+        opts.preemption = sched::Preemption::AtLayerBoundary;
+        opts.dropPolicy = sched::DropPolicy::DoomedFrames;
+        break;
+      case OptKind::Hysteresis:
+        opts.policy = sched::Policy::Lst;
+        opts.lstHysteresisCycles = 5e5;
+        opts.contextChangeCycles = 10000.0;
         break;
     }
     return opts;
@@ -304,7 +327,9 @@ INSTANTIATE_TEST_SUITE_P(
                           OptKind::ContextPenalty,
                           OptKind::DeadlineAware,
                           OptKind::LeastSlack,
-                          OptKind::LeastSlackDrop)),
+                          OptKind::LeastSlackDrop, OptKind::Preempt,
+                          OptKind::PreemptDoom,
+                          OptKind::Hysteresis)),
     [](const ::testing::TestParamInfo<SchedParam> &info) {
         return std::string(name(std::get<0>(info.param))) + "_" +
                name(std::get<1>(info.param)) + "_" +
@@ -379,11 +404,13 @@ randomWorkload(util::SplitMix64 &rng, int trial)
 } // namespace
 
 // ---------------------------------------------------------------
-// Randomized policy/drop property sweep: every selection policy x
-// drop policy x post-processing combination must produce a schedule
-// that validates (completeness modulo dropped frames, dependences,
-// arrivals, non-overlap, memory) with internally consistent SLA
-// statistics on seeded random periodic workloads.
+// Randomized preemption/policy/drop property sweep: every preemption
+// x selection policy x drop policy x post-processing combination
+// must produce a schedule that validates (completeness modulo
+// dropped frames — which may keep a committed prefix under
+// DoomedFrames — dependences, arrivals, non-overlap, memory) with
+// internally consistent SLA statistics on seeded random periodic
+// workloads, bit-identical across prefill thread counts.
 // ---------------------------------------------------------------
 
 TEST(PolicyDropRandomized, ValidSchedulesAndConsistentSla)
@@ -399,18 +426,28 @@ TEST(PolicyDropRandomized, ValidSchedulesAndConsistentSla)
         for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf,
                             sched::Policy::Lst}) {
             for (auto drop : {sched::DropPolicy::None,
-                              sched::DropPolicy::HopelessFrames}) {
+                              sched::DropPolicy::HopelessFrames,
+                              sched::DropPolicy::DoomedFrames}) {
                 for (bool pp : {false, true}) {
                     SchedulerOptions opts;
                     opts.policy = policy;
                     opts.dropPolicy = drop;
                     opts.postProcess = pp;
+                    // Preemption rides the trial parity so the sweep
+                    // covers both settings without doubling runtime;
+                    // equivalence of Off to the reference oracle is
+                    // pinned separately by test_sched_equivalence.
+                    opts.preemption =
+                        trial % 2 == 0
+                            ? sched::Preemption::AtLayerBoundary
+                            : sched::Preemption::Off;
                     sched::Schedule s =
                         sched::HeraldScheduler(model, opts)
                             .schedule(wl, acc);
                     std::string label =
                         std::string(sched::toString(policy)) + "/" +
-                        sched::toString(drop) +
+                        sched::toString(drop) + "/" +
+                        sched::toString(opts.preemption) +
                         (pp ? "/pp" : "/nopp") + " trial " +
                         std::to_string(trial);
 
