@@ -33,6 +33,7 @@
 #define HERALD_BENCH_BENCH_BASELINE_HH
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -122,6 +123,34 @@ class Parser
     {
         util::fatal("bench gate: malformed JSON in ", origin,
                     " at byte ", pos, ": ", what);
+    }
+
+    [[noreturn]] void
+    failKey(const char *what, const std::string &path)
+    {
+        util::fatal("bench gate: malformed JSON in ", origin,
+                    " at byte ", pos, ": ", what, " \"", path, "\"");
+    }
+
+    // A duplicate key would silently overwrite the earlier binding
+    // (std::map assignment), so whichever value the emitter wrote
+    // last would win the comparison — reject the document instead.
+    // Paths are checked across both maps: a key re-bound with a
+    // different type is just as corrupt.
+    void
+    bindNumber(const std::string &path, double v, FlatJson &out)
+    {
+        if (out.numbers.count(path) || out.strings.count(path))
+            failKey("duplicate key", path);
+        out.numbers[path] = v;
+    }
+
+    void
+    bindString(const std::string &path, std::string v, FlatJson &out)
+    {
+        if (out.numbers.count(path) || out.strings.count(path))
+            failKey("duplicate key", path);
+        out.strings[path] = std::move(v);
     }
 
     void
@@ -227,13 +256,13 @@ class Parser
             } while (consume(','));
             expect(']');
         } else if (c == '"') {
-            out.strings[path] = parseString();
+            bindString(path, parseString(), out);
         } else if (c == 't') {
             literal("true");
-            out.numbers[path] = 1.0;
+            bindNumber(path, 1.0, out);
         } else if (c == 'f') {
             literal("false");
-            out.numbers[path] = 0.0;
+            bindNumber(path, 0.0, out);
         } else if (c == 'n') {
             literal("null");
         } else {
@@ -242,8 +271,13 @@ class Parser
             double v = std::strtod(start, &end);
             if (end == start)
                 fail("expected a value");
+            // strtod happily reads "inf"/"nan" (not JSON, and a NaN
+            // baseline would make every gate comparison vacuously
+            // pass — NaN fails both < and >).
+            if (!std::isfinite(v))
+                failKey("non-finite number at", path);
             pos += static_cast<std::size_t>(end - start);
-            out.numbers[path] = v;
+            bindNumber(path, v, out);
         }
     }
 };

@@ -171,6 +171,17 @@ checkAgainstBaseline(const std::string &current_path,
          {"fifo", "edf", "lst", "lst_preempt", "edf_postprocess"})
         chk.checkThroughput(std::string(key) + ".layers_per_sec");
 
+    // Dimensionless policy-vs-FIFO ratios ride alongside the
+    // absolute layers/sec gates: absolute throughput varies with
+    // runner hardware (hence the generous tolerance), but the
+    // *relative* cost of a policy is a property of the code — a
+    // policy regressing against FIFO hides inside the absolute
+    // tolerance, a ratio gate catches it.
+    for (const char *key :
+         {"ratios.edf_vs_fifo", "ratios.lst_vs_fifo",
+          "ratios.lst_preempt_vs_fifo"})
+        chk.checkThroughput(key);
+
     // Per-policy miss counts on the over-subscribed scenario.
     benchgate::checkPolicyMissRows(chk, cur, base, "overloaded_sla",
                                    "overloaded_sla",
@@ -451,6 +462,17 @@ main(int argc, char **argv)
     emitTiming(json, "lst", t_lst, ",");
     emitTiming(json, "lst_preempt", t_lst_pre, ",");
     emitTiming(json, "edf_postprocess", t_pp, ",");
+    auto ratio = [](const Timing &num, const Timing &den) {
+        return den.layersPerSec() > 0.0
+                   ? num.layersPerSec() / den.layersPerSec()
+                   : 0.0;
+    };
+    std::fprintf(json,
+                 "  \"ratios\": {\"edf_vs_fifo\": %.4f, "
+                 "\"lst_vs_fifo\": %.4f, "
+                 "\"lst_preempt_vs_fifo\": %.4f},\n",
+                 ratio(t_edf, t_fifo), ratio(t_lst, t_fifo),
+                 ratio(t_lst_pre, t_fifo));
     std::fprintf(json, "  \"overloaded_sla\": [\n");
     for (std::size_t i = 0; i < 4; ++i) {
         const SlaRow &row = sla_rows[i];

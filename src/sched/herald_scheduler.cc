@@ -108,6 +108,51 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     const bool hysteresis = opts.lstHysteresisCycles > 0.0 &&
                             opts.effectivePolicy() == Policy::Lst;
 
+    // --- Fault-injection state (sched/fault_model.hh) ---
+    // Every fault-aware branch below is gated on `faulty`, so an
+    // empty timeline takes exactly the historical code path and
+    // schedules stay bit-identical to the fault-free scheduler.
+    const FaultTimeline &faults = opts.faults;
+    const bool faulty = !faults.empty();
+    if (faulty && faults.numSubAccs() != n_acc) {
+        util::fatal("scheduler: fault timeline covers ",
+                    faults.numSubAccs(),
+                    " sub-accelerators, accelerator has ", n_acc);
+    }
+
+    // Degraded-capacity view for the drop-policy feasibility proofs:
+    // the pristine table's optimistic remaining work assumes the
+    // best sub-accelerator is alive. Columns dead *from cycle 0* are
+    // masked for the admission pre-pass (sound for every arrival);
+    // mid-run failures are folded in by refresh_degraded() below as
+    // the availability floor passes their onsets.
+    std::unique_ptr<LayerCostTable::DegradedView> degraded;
+    std::vector<char> dead_mask;
+    std::vector<std::pair<double, std::size_t>> perm_fail; // sorted
+    std::size_t next_fail = 0;
+    if (faulty && opts.dropPolicy != DropPolicy::None) {
+        degraded =
+            std::make_unique<LayerCostTable::DegradedView>(table);
+        dead_mask.assign(n_acc, 0);
+        bool dead_at_zero = false;
+        for (std::size_t a = 0; a < n_acc; ++a) {
+            const double fail = faults.permanentFailureCycle(a);
+            if (fail <= 0.0) {
+                dead_mask[a] = 1;
+                dead_at_zero = true;
+            } else if (std::isfinite(fail)) {
+                perm_fail.emplace_back(fail, a);
+            }
+        }
+        if (dead_at_zero)
+            degraded->rebuild(dead_mask);
+        std::sort(perm_fail.begin(), perm_fail.end());
+    }
+    auto rem_cycles = [&](std::size_t u, std::size_t layer) {
+        return degraded ? degraded->remainingCycles(u, layer)
+                        : table.remainingCycles(u, layer);
+    };
+
     // Over-subscription admission control: a frame whose deadline
     // cannot be met even by running every layer back to back on its
     // best sub-accelerator starting at arrival is provably hopeless
@@ -122,8 +167,8 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             const workload::Instance &inst = instances[i];
             if (!inst.hasDeadline())
                 continue;
-            double optimistic = table.remainingCycles(
-                wl.uniqueIdOfInstance(i), 0);
+            double optimistic =
+                rem_cycles(wl.uniqueIdOfInstance(i), 0);
             if (inst.deadlineCycle - inst.arrivalCycle - optimistic <
                 -kEps) {
                 schedule.markDropped(i);
@@ -164,9 +209,21 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         in_doom.assign(n_inst, 0);
     }
     auto min_avail = [&]() {
-        double lo = acc_avail[0];
-        for (std::size_t a = 1; a < n_acc; ++a)
-            lo = std::min(lo, acc_avail[a]);
+        if (!faulty) {
+            double lo = acc_avail[0];
+            for (std::size_t a = 1; a < n_acc; ++a)
+                lo = std::min(lo, acc_avail[a]);
+            return lo;
+        }
+        // Degraded floor: the earliest cycle any *usable* capacity
+        // frees up. A dead sub-accelerator's frozen frontier must
+        // not hold the floor down forever — project each frontier
+        // through the fault timeline (kNeverCycle once the
+        // sub-accelerator has permanently failed; +inf overall means
+        // no capacity is left at all, dooming every deadline frame).
+        double lo = kNeverCycle;
+        for (std::size_t a = 0; a < n_acc; ++a)
+            lo = std::min(lo, faults.nextAvailable(a, acc_avail[a]));
         return lo;
     };
 
@@ -200,13 +257,16 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     // Shed a live frame mid-schedule: committed layers stay on the
     // timeline (the cycles were really spent), the rest are
     // cancelled, and the frame is recorded as dropped (and therefore
-    // missed). Only ever called under DropPolicy::DoomedFrames.
+    // missed). Called under DropPolicy::DoomedFrames, and — under
+    // any drop policy — when a fault timeline leaves a frame with no
+    // usable sub-accelerator at all (graceful degradation: the
+    // alternative is a dispatch loop that can never terminate).
     auto drop_live = [&](std::size_t idx) {
         schedule.markDropped(idx);
         remaining -= layers_of[idx] - next_layer[idx];
         layers_of[idx] = next_layer[idx]; // pending() now false
         policy->retire(idx);
-        if (in_doom[idx]) {
+        if (doom_drop && in_doom[idx]) {
             doom_set.erase(std::make_pair(doom_key[idx], idx));
             in_doom[idx] = 0;
         }
@@ -216,15 +276,43 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     // time, earliest sub-accelerator availability), and the chain
     // needs at least its optimistic suffix — if even that lower
     // bound overshoots the deadline, no continuation can save the
-    // frame.
+    // frame. Under faults the suffix comes from the degraded view
+    // (dead columns masked once the floor passes their onsets),
+    // which is sound: the mask only ever contains sub-accelerators
+    // already unusable at every cycle >= the frame's "now".
     auto doomed_now = [&](std::size_t idx, double now_floor) {
         const workload::Instance &ri = instances[idx];
         if (!ri.hasDeadline())
             return false;
         double now = std::max(ready_time[idx], now_floor);
-        double rem =
-            table.remainingCycles(uid[idx], next_layer[idx]);
+        double rem = rem_cycles(uid[idx], next_layer[idx]);
         return now + rem > ri.deadlineCycle + kEps;
+    };
+    // Fold permanent failures whose onset the availability floor has
+    // passed into the degraded view, re-keying the doom set against
+    // the shrunk capacity (a frame's remaining-work bound can only
+    // grow, so re-proofs may newly doom it).
+    auto refresh_degraded = [&](double floor) {
+        bool changed = false;
+        while (next_fail < perm_fail.size() &&
+               perm_fail[next_fail].first <= floor + kEps) {
+            dead_mask[perm_fail[next_fail].second] = 1;
+            ++next_fail;
+            changed = true;
+        }
+        if (!changed)
+            return;
+        degraded->rebuild(dead_mask);
+        if (!doom_drop)
+            return;
+        std::set<std::pair<double, std::size_t>> rekeyed;
+        for (const auto &entry : doom_set) {
+            const std::size_t idx = entry.second;
+            doom_key[idx] = instances[idx].deadlineCycle -
+                            rem_cycles(uid[idx], next_layer[idx]);
+            rekeyed.emplace(doom_key[idx], idx);
+        }
+        doom_set.swap(rekeyed);
     };
 
     // Released instances with pending layers live in the policy's
@@ -244,9 +332,8 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             drop_live(idx);
             return;
         }
-        doom_key[idx] =
-            instances[idx].deadlineCycle -
-            table.remainingCycles(uid[idx], next_layer[idx]);
+        doom_key[idx] = instances[idx].deadlineCycle -
+                        rem_cycles(uid[idx], next_layer[idx]);
         doom_set.emplace(doom_key[idx], idx);
         in_doom[idx] = 1;
     };
@@ -368,10 +455,134 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         double start = 0.0;
         double dur = 0.0; //!< includes the context penalty
         double contextPenalty = 0.0;
+        /** False: no usable sub-accelerator from this frame's ready
+         *  time — every candidate placement lands past a permanent
+         *  failure. The frame cannot make progress and is shed. */
+        bool feasible = true;
+        /** Next fault onset strictly after start (kNeverCycle when
+         *  none): a commit whose duration crosses it becomes a
+         *  fault-killed partial execution ending exactly there. */
+        double killAt = kNeverCycle;
+    };
+    // Fault-aware placement on one sub-accelerator: the earliest
+    // start at or after `earliest` that is outside every known
+    // outage, before the sub-accelerator's permanent failure, and
+    // memory-feasible. The throttle factor is sampled at the start
+    // and held for the whole layer (layers are atomic). Termination:
+    // each round either returns or strictly advances `s` to a memory
+    // event boundary past an availability point — both finite sets.
+    auto place_on = [&](std::size_t a, double earliest,
+                        double base_cycles, double penalty,
+                        double bytes, Plan &out) {
+        double s = earliest;
+        for (;;) {
+            const double avail = faults.nextAvailable(a, s);
+            if (!std::isfinite(avail))
+                return false; // dead from here on
+            const double dur =
+                base_cycles * faults.throttleFactorAt(a, avail) +
+                penalty;
+            const double fit =
+                memory.firstFeasible(avail, dur, bytes);
+            if (fit == avail) {
+                out.start = fit;
+                out.dur = dur;
+                out.killAt = faults.nextOnset(a, fit);
+                return true;
+            }
+            s = fit;
+        }
     };
     auto plan_layer = [&](std::size_t inst) -> Plan {
         const std::size_t row = row_base[inst] + next_layer[inst];
         const std::size_t *order = table.order(row);
+
+        if (faulty) {
+            // Degraded-mode candidate selection: only
+            // sub-accelerators with a finite availability point from
+            // this frame's earliest start compete; the preference
+            // order (metric order, demoted by the same
+            // load-balancing feedback) is otherwise unchanged. When
+            // placement on the chosen candidate pushes past its
+            // permanent failure, demote through the remaining usable
+            // candidates; when every candidate fails, the frame can
+            // never progress (plan.feasible = false).
+            Plan plan;
+            const double base_ready = ready_time[inst];
+            auto usable = [&](std::size_t a) {
+                return std::isfinite(faults.nextAvailable(
+                    a, std::max(base_ready, acc_avail[a])));
+            };
+            std::size_t chosen = SIZE_MAX;
+            for (std::size_t k = 0; k < n_acc; ++k) {
+                if (usable(order[k])) {
+                    chosen = order[k];
+                    break;
+                }
+            }
+            if (chosen == SIZE_MAX) {
+                plan.feasible = false;
+                return plan;
+            }
+            if (opts.loadBalance && n_acc > 1) {
+                const double best_metric = table.metric(row, chosen);
+                for (std::size_t k = 0; k < n_acc; ++k) {
+                    std::size_t a = order[k];
+                    if (!usable(a))
+                        continue;
+                    if (table.metric(row, a) >
+                        best_metric * opts.loadBalanceMaxDegradation)
+                        break; // remaining candidates worse still
+                    double start =
+                        std::max(base_ready, acc_avail[a]);
+                    double frontier =
+                        start + table.cost(row, a).cost.cycles;
+                    double max_f = frontier;
+                    double min_f = frontier;
+                    for (std::size_t b = 0; b < n_acc; ++b) {
+                        if (b == a)
+                            continue;
+                        max_f = std::max(max_f, acc_avail[b]);
+                        min_f = std::min(min_f, acc_avail[b]);
+                    }
+                    if (min_f > 0.0 &&
+                        max_f <= opts.loadBalanceFactor * min_f) {
+                        chosen = a;
+                        break;
+                    }
+                }
+            }
+            auto try_acc = [&](std::size_t a) {
+                const accel::StyledLayerCost &sc =
+                    table.cost(row, a);
+                Plan p;
+                p.acc = a;
+                if (opts.contextChangeCycles > 0.0 &&
+                    acc_last_instance[a] != SIZE_MAX &&
+                    acc_last_instance[a] != inst)
+                    p.contextPenalty = opts.contextChangeCycles;
+                if (!place_on(a,
+                              std::max(base_ready, acc_avail[a]),
+                              sc.cost.cycles, p.contextPenalty,
+                              static_cast<double>(
+                                  sc.cost.l2FootprintBytes),
+                              p))
+                    return false;
+                plan = p;
+                return true;
+            };
+            if (try_acc(chosen))
+                return plan;
+            for (std::size_t k = 0; k < n_acc; ++k) {
+                std::size_t a = order[k];
+                if (a == chosen || !usable(a))
+                    continue;
+                if (try_acc(a))
+                    return plan;
+            }
+            plan.feasible = false;
+            return plan;
+        }
 
         // Load-balancing feedback: demote overloading choices.
         std::size_t chosen = order[0];
@@ -453,7 +664,24 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         if (preempt) {
             bool exhausted = false;
             for (;;) {
-                const double end = plan.start + plan.dur;
+                // A frame with no usable sub-accelerator left can
+                // never progress — shed it (graceful degradation,
+                // any drop policy) and re-select.
+                if (faulty && !plan.feasible) {
+                    drop_live(inst);
+                    if (remaining == 0) {
+                        exhausted = true;
+                        break;
+                    }
+                    inst = select_instance();
+                    plan = plan_layer(inst);
+                    continue;
+                }
+                // The layer actually ends at the fault onset when it
+                // will be killed, so that is the window urgent
+                // arrivals are tested against.
+                const double end =
+                    std::min(plan.start + plan.dur, plan.killAt);
                 double threshold = policy->keyOf(inst);
                 if (hysteresis && inst == grant)
                     threshold -= opts.lstHysteresisCycles;
@@ -490,12 +718,24 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             }
             if (exhausted)
                 break;
+        } else if (faulty && !plan.feasible) {
+            drop_live(inst); // graceful degradation, any drop policy
+            continue;
         }
 
         const std::size_t layer_idx = next_layer[inst];
         const std::size_t row = row_base[inst] + layer_idx;
         const accel::StyledLayerCost &sc = table.cost(row, plan.acc);
-        memory.add(plan.start, plan.dur,
+        // A plan whose duration crosses the next fault onset is
+        // committed as a fault-killed partial execution: it occupies
+        // the sub-accelerator (and buffer) up to the onset exactly,
+        // performs zero useful work, and the frame's chain retries
+        // from the onset. The non-faulty path books plan.dur
+        // verbatim — bit-identical to the fault-free scheduler.
+        const bool killed =
+            faulty && plan.killAt < plan.start + plan.dur - kEps;
+        memory.add(plan.start,
+                   killed ? plan.killAt - plan.start : plan.dur,
                    static_cast<double>(sc.cost.l2FootprintBytes));
 
         ScheduledLayer entry;
@@ -504,10 +744,17 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         entry.accIdx = plan.acc;
         entry.style = sc.style;
         entry.startCycle = plan.start;
-        entry.endCycle = plan.start + plan.dur;
+        entry.endCycle =
+            killed ? plan.killAt : plan.start + plan.dur;
         entry.energyUnits = sc.cost.energyUnits;
+        if (killed) {
+            // Energy really spent before the fault hit.
+            entry.energyUnits *=
+                (plan.killAt - plan.start) / plan.dur;
+        }
         entry.l2FootprintBytes = sc.cost.l2FootprintBytes;
         entry.contextPenaltyCycles = plan.contextPenalty;
+        entry.faultKilled = killed;
         schedule.add(entry);
 
         ready_time[inst] = entry.endCycle;
@@ -515,29 +762,34 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         release_frontier =
             std::max(release_frontier, entry.endCycle);
         acc_last_instance[plan.acc] = inst;
-        ++next_layer[inst];
-        --remaining;
+        if (!killed) {
+            ++next_layer[inst];
+            --remaining;
+        }
         rotate = (inst + 1) % n_inst;
         grant = inst;
 
         if (pending(inst)) {
-            // Progress may change the policy's key (LST slack).
-            policy->onLayerScheduled(inst);
+            // Progress may change the policy's key (LST slack). A
+            // kill makes no progress, so the key is unchanged.
+            if (!killed)
+                policy->onLayerScheduled(inst);
             if (doom_drop && in_doom[inst]) {
                 // Progress also moved the frame's ready time and
                 // shrank its remaining work: re-test it directly
                 // (the shared floor sweep below cannot see a ready
                 // time that outruns the floor), else re-key its
-                // doom-set entry.
+                // doom-set entry. A kill advances the ready time
+                // without shrinking the work — the re-test still
+                // applies, the re-key would be a no-op.
                 if (doomed_now(inst, min_avail())) {
                     drop_live(inst);
-                } else {
+                } else if (!killed) {
                     doom_set.erase(
                         std::make_pair(doom_key[inst], inst));
                     doom_key[inst] =
                         instances[inst].deadlineCycle -
-                        table.remainingCycles(uid[inst],
-                                              next_layer[inst]);
+                        rem_cycles(uid[inst], next_layer[inst]);
                     doom_set.emplace(doom_key[inst], inst);
                 }
             }
@@ -563,6 +815,8 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         // letting them burn cycles the still-savable frames need.
         if (doom_drop) {
             const double floor = min_avail();
+            if (degraded)
+                refresh_degraded(floor);
             while (!doom_set.empty() &&
                    doom_set.begin()->first < floor - kEps) {
                 drop_live(doom_set.begin()->second);
@@ -586,14 +840,22 @@ depKey(std::size_t instance_idx, std::size_t layer_idx)
            static_cast<std::uint64_t>(layer_idx & 0xffffffffULL);
 }
 
-/** Entry index of (instance, layer) pairs for dependence lookups. */
+/**
+ * Entry index of (instance, layer) pairs for dependence lookups.
+ * Fault-killed entries are skipped: a killed (instance, layer) pair
+ * reappears as a later re-execution, and only the execution that
+ * completed the work is a dependence anchor.
+ */
 std::unordered_map<std::uint64_t, std::size_t>
 buildDependenceIndex(const std::vector<ScheduledLayer> &entries)
 {
     std::unordered_map<std::uint64_t, std::size_t> index;
     index.reserve(entries.size());
-    for (std::size_t i = 0; i < entries.size(); ++i)
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].faultKilled)
+            continue;
         index[depKey(entries[i].instanceIdx, entries[i].layerIdx)] = i;
+    }
     return index;
 }
 
@@ -623,6 +885,38 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
     if (entries.empty())
         return;
     auto dep_index = buildDependenceIndex(entries);
+
+    // Fault pinning: idle-time elimination must not rewrite fault
+    // history. Pinned (never moved): killed entries (their end is
+    // the fault onset), every entry of an instance that suffered a
+    // kill (a re-execution pulled ahead of its kill would reorder
+    // cause and effect), and entries whose committed window overlaps
+    // an outage/throttle (their durations embed fault effects that
+    // do not transfer to another window). Unpinned entries only ever
+    // move into fully undisturbed windows.
+    const FaultTimeline &faults = opts.faults;
+    const bool faulty = !faults.empty();
+    std::vector<char> pinned;
+    if (faulty) {
+        pinned.assign(entries.size(), 0);
+        std::vector<char> victim(wl.numInstances(), 0);
+        for (const ScheduledLayer &e : entries) {
+            if (e.faultKilled)
+                victim[e.instanceIdx] = 1;
+        }
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const ScheduledLayer &e = entries[i];
+            if (e.faultKilled || victim[e.instanceIdx] ||
+                !faults.windowUndisturbed(e.accIdx, e.startCycle,
+                                          e.duration()))
+                pinned[i] = 1;
+        }
+    }
+    auto window_ok = [&](const ScheduledLayer &e, double new_start) {
+        return !faulty ||
+               faults.windowUndisturbed(e.accIdx, new_start,
+                                        e.duration());
+    };
 
     // Earliest legal start: the predecessor's end, but never before
     // the instance's arrival (pull/gap-fill must not hoist a frame's
@@ -667,12 +961,15 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
         // Pull pass: shift entries earlier preserving order.
         for (auto &vec : per_acc) {
             for (std::size_t pos = 0; pos < vec.size(); ++pos) {
+                if (faulty && pinned[vec[pos]])
+                    continue;
                 ScheduledLayer &e = entries[vec[pos]];
                 double acc_prev_end =
                     pos == 0 ? 0.0 : entries[vec[pos - 1]].endCycle;
                 double new_start =
                     std::max(dep_ready(e), acc_prev_end);
                 if (new_start < e.startCycle - kEps &&
+                    window_ok(e, new_start) &&
                     tracker.feasible(
                         new_start, e.duration(),
                         static_cast<double>(e.l2FootprintBytes),
@@ -719,6 +1016,8 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                          j < vec.size() &&
                          depth < opts.lookaheadDepth;
                          ++j, ++depth) {
+                        if (faulty && pinned[vec[j]])
+                            continue;
                         ScheduledLayer &cand = entries[vec[j]];
                         double dur = cand.duration();
                         double earliest =
@@ -727,6 +1026,8 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                             continue; // does not fit in the gap
                         if (cand.startCycle <= earliest + kEps)
                             continue; // no improvement
+                        if (!window_ok(cand, earliest))
+                            continue; // would land on a fault
                         // Context-change penalties are baked into
                         // entry durations at dispatch time from the
                         // then-current sub-accelerator adjacency. A

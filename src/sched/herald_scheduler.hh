@@ -34,6 +34,7 @@
 
 #include "accel/rda.hh"
 #include "cost/cost_model.hh"
+#include "sched/fault_model.hh"
 #include "sched/metric.hh"
 #include "sched/policy.hh"
 #include "sched/schedule.hh"
@@ -186,6 +187,21 @@ struct SchedulerOptions
 
     /** Overheads applied to flexible (RDA) sub-accelerators. */
     accel::RdaOverheads rdaOverheads{};
+
+    /**
+     * Sub-accelerator fault timeline (sched/fault_model.hh). With a
+     * non-empty timeline the dispatch loop schedules in degraded
+     * mode: layers never start inside a known outage or on a dead
+     * sub-accelerator (they defer past the window or demote to a
+     * survivor), a layer in flight at a fault onset is killed and
+     * recorded (ScheduledLayer::faultKilled) with its frame's chain
+     * re-entering selection, and the drop policies re-prove
+     * feasibility against the degraded capacity. Must cover exactly
+     * the accelerator's sub-accelerator count when non-empty. An
+     * empty timeline (the default) leaves every schedule
+     * bit-identical to the fault-free scheduler.
+     */
+    FaultTimeline faults{};
 
     /**
      * Worker threads for the LayerCostTable prefill: 1 forces the

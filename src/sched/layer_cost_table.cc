@@ -1,11 +1,66 @@
 #include "sched/layer_cost_table.hh"
 
 #include <algorithm>
+#include <limits>
 
+#include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace herald::sched
 {
+
+LayerCostTable::DegradedView::DegradedView(const LayerCostTable &t)
+    : table(&t), minCycDeg(t.minCyc), remSuffixDeg(t.remSuffix)
+{
+}
+
+void
+LayerCostTable::DegradedView::rebuild(
+    const std::vector<char> &dead, const std::vector<double> &scale)
+{
+    const std::size_t n_acc = table->nAcc;
+    if (dead.size() != n_acc ||
+        (!scale.empty() && scale.size() != n_acc))
+        util::fatal("degraded view: mask/scale arity mismatch");
+    for (std::size_t a = 0; a < n_acc; ++a) {
+        if (!scale.empty() && scale[a] < 1.0)
+            util::fatal("degraded view: scale factors must be >= 1");
+    }
+
+    const std::size_t rows =
+        n_acc == 0 ? 0 : table->entries.size() / n_acc;
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    for (std::size_t row = 0; row < rows; ++row) {
+        double best = inf;
+        for (std::size_t a = 0; a < n_acc; ++a) {
+            if (dead[a])
+                continue;
+            double cycles =
+                table->entries[row * n_acc + a].cost.cycles;
+            if (!scale.empty())
+                cycles *= scale[a];
+            best = std::min(best, cycles);
+        }
+        minCycDeg[row] = best;
+    }
+
+    // Same per-model suffix fold as build(), over the degraded
+    // minima (inf is absorbing: a chain through an unrunnable layer
+    // has no finite remaining-work bound).
+    const std::size_t n_models = table->modelOffset.size();
+    for (std::size_t u = 0; u < n_models; ++u) {
+        const std::size_t base = table->modelOffset[u];
+        const std::size_t limit =
+            u + 1 < n_models ? table->modelOffset[u + 1] : rows;
+        const std::size_t n_layers = limit - base;
+        const std::size_t seg = base + u;
+        remSuffixDeg[seg + n_layers] = 0.0;
+        for (std::size_t l = n_layers; l-- > 0;) {
+            remSuffixDeg[seg + l] =
+                remSuffixDeg[seg + l + 1] + minCycDeg[base + l];
+        }
+    }
+}
 
 LayerCostTable
 LayerCostTable::build(cost::CostModel &model,

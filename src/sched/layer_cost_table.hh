@@ -118,6 +118,51 @@ class LayerCostTable
     }
 
     /**
+     * Degraded-capacity view: the optimistic per-row minimum and the
+     * remaining-work suffix sums recomputed with sub-accelerator
+     * columns masked out (permanently failed) and/or scaled
+     * (throttled). The doom/hopeless feasibility proofs re-prove
+     * against this once capacity is lost — the pristine table's
+     * "best sub-accelerator" lower bound is no longer a bound when
+     * that sub-accelerator is dead. Rows with every column masked
+     * report +infinity (no continuation exists). The view borrows
+     * the table; rebuild() is O(rows x sub-accs).
+     */
+    class DegradedView
+    {
+      public:
+        /** Identity view (equals the pristine table). */
+        explicit DegradedView(const LayerCostTable &table);
+
+        /**
+         * Recompute with column @p a removed when dead[a] != 0 and
+         * cycles multiplied by scale[a] otherwise. @p scale may be
+         * empty (all 1); factors must be >= 1.
+         */
+        void rebuild(const std::vector<char> &dead,
+                     const std::vector<double> &scale = {});
+
+        /** Degraded counterpart of LayerCostTable::minCycles. */
+        double minCycles(std::size_t row) const
+        {
+            return minCycDeg[row];
+        }
+
+        /** Degraded counterpart of remainingCycles (may be +inf). */
+        double
+        remainingCycles(std::size_t uid, std::size_t layer) const
+        {
+            return remSuffixDeg[table->modelOffset[uid] + uid +
+                                layer];
+        }
+
+      private:
+        const LayerCostTable *table;
+        std::vector<double> minCycDeg;
+        std::vector<double> remSuffixDeg;
+    };
+
+    /**
      * Below this entry count the prefill always runs serially:
      * unique-layer tables are small, warm-cache fills take
      * microseconds, and spawning/joining a pool would dominate. The

@@ -253,6 +253,9 @@ referenceSchedule(cost::CostModel &model,
     if (opts.lstHysteresisCycles != 0.0)
         util::panic("referenceSchedule: LST hysteresis is not "
                     "implemented by the reference oracle");
+    if (!opts.faults.empty())
+        util::panic("referenceSchedule: fault timelines are not "
+                    "implemented by the reference oracle");
     const bool deadline_aware = opts.effectivePolicy() == Policy::Edf;
 
     const std::size_t n_inst = wl.numInstances();

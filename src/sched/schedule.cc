@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "sched/fault_model.hh"
 #include "util/logging.hh"
 
 namespace herald::sched
@@ -24,7 +25,8 @@ operator==(const ScheduledLayer &a, const ScheduledLayer &b)
            a.endCycle == b.endCycle &&
            a.energyUnits == b.energyUnits &&
            a.l2FootprintBytes == b.l2FootprintBytes &&
-           a.contextPenaltyCycles == b.contextPenaltyCycles;
+           a.contextPenaltyCycles == b.contextPenaltyCycles &&
+           a.faultKilled == b.faultKilled;
 }
 
 bool
@@ -144,13 +146,25 @@ Schedule::computeSla(const workload::Workload &wl) const
 
     // Completion = the latest end cycle over an instance's layers;
     // negative marks an instance with no scheduled layer at all.
+    // Fault-killed entries occupy the timeline but complete nothing,
+    // so they are excluded from completion and counted separately.
     std::vector<double> completion(wl.numInstances(), -1.0);
+    std::vector<char> lost_layer(wl.numInstances(), 0);
     for (const ScheduledLayer &e : list) {
         if (e.instanceIdx >= wl.numInstances())
             util::panic("computeSla: instance ", e.instanceIdx,
                         " out of range");
+        if (e.faultKilled) {
+            ++stats.faultKilledLayers;
+            lost_layer[e.instanceIdx] = 1;
+            continue;
+        }
         completion[e.instanceIdx] =
             std::max(completion[e.instanceIdx], e.endCycle);
+    }
+    for (std::size_t i = 0; i < wl.numInstances(); ++i) {
+        if (lost_layer[i] && !isDropped(i))
+            ++stats.framesRescheduled;
     }
 
     std::vector<double> latencies;
@@ -213,7 +227,8 @@ Schedule::computeSla(const workload::Workload &wl) const
 
 std::string
 Schedule::validate(const workload::Workload &wl,
-                   const accel::Accelerator &acc) const
+                   const accel::Accelerator &acc,
+                   const FaultTimeline *faults) const
 {
     std::ostringstream err;
 
@@ -221,6 +236,11 @@ Schedule::validate(const workload::Workload &wl,
         err << "schedule built for " << numAccs
             << " sub-accelerators, accelerator has "
             << acc.numSubAccs();
+        return err.str();
+    }
+    if (faults && faults->numSubAccs() != numAccs) {
+        err << "fault timeline built for " << faults->numSubAccs()
+            << " sub-accelerators, schedule has " << numAccs;
         return err.str();
     }
 
@@ -239,8 +259,12 @@ Schedule::validate(const workload::Workload &wl,
 
     // Completeness: every non-dropped (instance, layer) exactly
     // once; dropped instances contribute a (possibly empty) prefix.
+    // Fault-killed entries are wasted attempts, not executions: they
+    // are excluded from uniqueness/completeness and checked against
+    // the fault timeline separately below.
     std::map<std::pair<std::size_t, std::size_t>, const ScheduledLayer *>
         seen;
+    std::vector<const ScheduledLayer *> killed;
     std::vector<std::size_t> layer_count(wl.numInstances(), 0);
     std::vector<std::size_t> max_layer(wl.numInstances(), 0);
     for (const ScheduledLayer &e : list) {
@@ -254,6 +278,16 @@ Schedule::validate(const workload::Workload &wl,
             err << "entry references layer " << e.layerIdx
                 << " out of range for " << model.name();
             return err.str();
+        }
+        if (e.faultKilled) {
+            if (!faults) {
+                err << "fault-killed entry (instance "
+                    << e.instanceIdx << " layer " << e.layerIdx
+                    << ") without a fault timeline";
+                return err.str();
+            }
+            killed.push_back(&e);
+            continue;
         }
         auto key = std::make_pair(e.instanceIdx, e.layerIdx);
         if (seen.count(key)) {
@@ -290,6 +324,57 @@ Schedule::validate(const workload::Workload &wl,
         }
     }
 
+    // Fault consistency: every entry stays clear of unavailable
+    // windows (killed entries end *at* the onset, which is exactly
+    // the boundary of availability), and every killed entry ends at
+    // a fault onset and precedes the re-execution of its layer.
+    if (faults) {
+        for (const ScheduledLayer &e : list) {
+            if (!faults->windowAvailable(e.accIdx, e.startCycle,
+                                         e.duration())) {
+                err << "instance " << e.instanceIdx << " layer "
+                    << e.layerIdx << " [" << e.startCycle << ", "
+                    << e.endCycle << ") overlaps an unavailable "
+                    << "window on sub-accelerator " << e.accIdx;
+                return err.str();
+            }
+        }
+        for (const ScheduledLayer *k : killed) {
+            if (!faults->isFaultOnset(k->accIdx, k->endCycle)) {
+                err << "fault-killed entry (instance "
+                    << k->instanceIdx << " layer " << k->layerIdx
+                    << ") ends at " << k->endCycle
+                    << ", not at a fault onset on sub-accelerator "
+                    << k->accIdx;
+                return err.str();
+            }
+            auto it = seen.find(
+                std::make_pair(k->instanceIdx, k->layerIdx));
+            if (it != seen.end()) {
+                if (it->second->startCycle < k->endCycle - kEps) {
+                    err << "re-execution of instance "
+                        << k->instanceIdx << " layer " << k->layerIdx
+                        << " starts " << it->second->startCycle
+                        << " before its killed attempt ends "
+                        << k->endCycle;
+                    return err.str();
+                }
+            } else if (!isDropped(k->instanceIdx)) {
+                err << "instance " << k->instanceIdx << " layer "
+                    << k->layerIdx << " was fault-killed but never "
+                    << "re-executed (and the frame is not dropped)";
+                return err.str();
+            } else if (k->layerIdx != layer_count[k->instanceIdx]) {
+                // A dropped frame's unrecovered kill can only be the
+                // attempt at the first uncommitted layer.
+                err << "dropped instance " << k->instanceIdx
+                    << " has a killed attempt at layer "
+                    << k->layerIdx << " beyond its committed prefix";
+                return err.str();
+            }
+        }
+    }
+
     // Arrival: no layer starts before its instance arrives.
     for (const ScheduledLayer &e : list) {
         double arrival = wl.instances()[e.instanceIdx].arrivalCycle;
@@ -301,12 +386,20 @@ Schedule::validate(const workload::Workload &wl,
         }
     }
 
-    // Dependence: layer l starts after layer l-1 of the same instance.
+    // Dependence: layer l starts after layer l-1 of the same
+    // instance (killed attempts at layer l obey the same bound —
+    // the attempt could not begin before the chain reached it).
     for (const ScheduledLayer &e : list) {
         if (e.layerIdx == 0)
             continue;
-        const ScheduledLayer *prev =
-            seen[std::make_pair(e.instanceIdx, e.layerIdx - 1)];
+        auto prev_it =
+            seen.find(std::make_pair(e.instanceIdx, e.layerIdx - 1));
+        if (prev_it == seen.end()) {
+            err << "instance " << e.instanceIdx << " layer "
+                << e.layerIdx << " has no completed predecessor";
+            return err.str();
+        }
+        const ScheduledLayer *prev = prev_it->second;
         if (e.startCycle < prev->endCycle - kEps) {
             err << "dependence violation: instance " << e.instanceIdx
                 << " layer " << e.layerIdx << " starts "
@@ -443,12 +536,27 @@ checkContextPenalties(const Schedule &schedule,
 std::string
 Schedule::renderTimeline(const workload::Workload &wl, int width) const
 {
+    return renderTimeline(wl, nullptr, width);
+}
+
+std::string
+Schedule::renderTimeline(const workload::Workload &wl,
+                         const FaultTimeline *faults, int width) const
+{
     if (width < 8)
         width = 8;
     const double makespan = makespanCycles();
     std::ostringstream oss;
-    if (makespan <= 0.0 || list.empty())
-        return "(empty schedule)\n";
+    if (makespan <= 0.0 || list.empty()) {
+        // Nothing executed (or only zero-length entries): no time
+        // axis to draw. An all-dropped schedule lands here too —
+        // report the drops instead of dividing by a zero makespan.
+        oss << "(empty schedule";
+        if (!droppedList.empty())
+            oss << "; " << droppedList.size() << " dropped frames";
+        oss << ")\n";
+        return oss.str();
+    }
 
     auto glyph = [](std::size_t instance) {
         static const char digits[] =
@@ -458,6 +566,16 @@ Schedule::renderTimeline(const workload::Workload &wl, int width) const
 
     for (std::size_t a = 0; a < numAccs; ++a) {
         std::string row(static_cast<std::size_t>(width), '.');
+        if (faults) {
+            // Mark unavailable cells first; busy entries (which
+            // validate() keeps clear of outages) overwrite them.
+            for (int c = 0; c < width; ++c) {
+                double t = (static_cast<double>(c) + 0.5) /
+                           static_cast<double>(width) * makespan;
+                if (!faults->availableAt(a, t))
+                    row[static_cast<std::size_t>(c)] = 'x';
+            }
+        }
         for (const ScheduledLayer &e : list) {
             if (e.accIdx != a)
                 continue;
@@ -475,7 +593,10 @@ Schedule::renderTimeline(const workload::Workload &wl, int width) const
     for (int i = 0; i < width - 8; ++i)
         oss << ' ';
     oss << makespan << " cycles\n";
-    oss << "       (cells: workload instance index; '.', idle)";
+    oss << "       (cells: workload instance index; '.', idle";
+    if (faults)
+        oss << "; 'x', unavailable";
+    oss << ")";
     if (wl.numInstances() > 0)
         oss << "\n";
     return oss.str();

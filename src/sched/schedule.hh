@@ -21,6 +21,8 @@
 namespace herald::sched
 {
 
+class FaultTimeline;
+
 /** One scheduled layer execution. */
 struct ScheduledLayer
 {
@@ -41,6 +43,19 @@ struct ScheduledLayer
      * adjacency when it reorders entries.
      */
     double contextPenaltyCycles = 0.0;
+    /**
+     * The layer was in flight when a fault onset hit its
+     * sub-accelerator (sched/fault_model.hh): it occupied
+     * [startCycle, endCycle) — endCycle is exactly the onset — but
+     * performed zero useful work, and a later entry re-executes the
+     * same (instance, layer) on a surviving sub-accelerator (or the
+     * frame was dropped). energyUnits holds the wasted fraction of
+     * the layer's energy; contextPenaltyCycles still records the
+     * penalty *planned* at dispatch so the adjacency invariant
+     * (checkContextPenalties) stays exact — duration() -
+     * contextPenaltyCycles is meaningless for killed entries.
+     */
+    bool faultKilled = false;
 
     double duration() const { return endCycle - startCycle; }
 };
@@ -89,6 +104,13 @@ struct SlaStats
     double p50LatencyCycles = 0.0; //!< median frame latency
     double p99LatencyCycles = 0.0; //!< tail; +inf if frames never ran
     double maxLatencyCycles = 0.0; //!< +inf if any frame never ran
+    /** Layer executions killed by a fault onset (wasted work). */
+    std::size_t faultKilledLayers = 0;
+    /**
+     * Non-dropped frames that lost >= 1 layer to a fault and were
+     * re-dispatched to completion on surviving sub-accelerators.
+     */
+    std::size_t framesRescheduled = 0;
     std::vector<InstanceSla> perInstance; //!< by instance index
 };
 
@@ -192,9 +214,18 @@ class Schedule
      * dependence order, per-sub-accelerator non-overlap, and global-
      * buffer occupancy. Returns an empty string when valid, else a
      * description of the first violation.
+     *
+     * With a non-null @p faults the fault-consistency rules apply
+     * too: no entry may overlap an unavailable window, every
+     * fault-killed entry must end exactly at a fault onset on its
+     * sub-accelerator and precede the re-execution of its (instance,
+     * layer), and completeness is judged on the non-killed entries.
+     * Without @p faults any fault-killed entry is itself a
+     * violation.
      */
     std::string validate(const workload::Workload &wl,
-                         const accel::Accelerator &acc) const;
+                         const accel::Accelerator &acc,
+                         const FaultTimeline *faults = nullptr) const;
 
     /**
      * Peak concurrent global-buffer occupancy in bytes (one of the
@@ -206,9 +237,20 @@ class Schedule
      * Render an ASCII timeline (Fig. 7-style): one row per
      * sub-accelerator, @p width columns spanning the makespan, each
      * cell showing the instance index running there (or '.' idle).
+     * An empty or fully-dropped schedule renders a one-line note
+     * instead of dividing by a zero makespan.
      */
     std::string renderTimeline(const workload::Workload &wl,
                                int width = 72) const;
+
+    /**
+     * Same, overlaying @p faults: idle cells where the
+     * sub-accelerator is inside an outage window or past its
+     * permanent failure render as 'x'.
+     */
+    std::string renderTimeline(const workload::Workload &wl,
+                               const FaultTimeline *faults,
+                               int width) const;
 
   private:
     std::size_t numAccs;

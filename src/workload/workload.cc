@@ -1,6 +1,7 @@
 #include "workload/workload.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dnn/model_zoo.hh"
 #include "util/logging.hh"
@@ -72,10 +73,17 @@ Workload::addModel(dnn::Model model, int batches,
     if (model.numLayers() == 0)
         util::fatal("workload '", wlName, "': empty model '",
                     model.name(), "'");
-    if (arrival_cycle < 0.0)
-        util::fatal("workload '", wlName, "': negative arrival");
-    if (deadline_cycles < 0.0)
-        util::fatal("workload '", wlName, "': negative deadline");
+    // NaN slips through ordered comparisons (every one is false), so
+    // finiteness is tested explicitly — a NaN arrival would silently
+    // poison every release/deadline comparison downstream.
+    if (!std::isfinite(arrival_cycle) || arrival_cycle < 0.0)
+        util::fatal("workload '", wlName,
+                    "': arrival must be finite and >= 0, got ",
+                    arrival_cycle);
+    if (!std::isfinite(deadline_cycles) || deadline_cycles < 0.0)
+        util::fatal("workload '", wlName,
+                    "': deadline must be finite and >= 0, got ",
+                    deadline_cycles);
     std::size_t spec_idx = modelSpecs.size();
     for (int b = 0; b < batches; ++b) {
         Instance inst;
@@ -105,11 +113,18 @@ Workload::addPeriodicModel(dnn::Model model, int frames,
     if (model.numLayers() == 0)
         util::fatal("workload '", wlName, "': empty model '",
                     model.name(), "'");
-    if (period_cycles <= 0.0)
-        util::fatal("workload '", wlName, "': period must be > 0");
-    if (deadline_cycles < 0.0 || phase_cycles < 0.0)
+    if (!std::isfinite(period_cycles) || period_cycles <= 0.0)
         util::fatal("workload '", wlName,
-                    "': negative deadline or phase");
+                    "': period must be finite and > 0, got ",
+                    period_cycles);
+    if (!std::isfinite(deadline_cycles) || deadline_cycles < 0.0)
+        util::fatal("workload '", wlName,
+                    "': deadline must be finite and >= 0, got ",
+                    deadline_cycles);
+    if (!std::isfinite(phase_cycles) || phase_cycles < 0.0)
+        util::fatal("workload '", wlName,
+                    "': phase must be finite and >= 0, got ",
+                    phase_cycles);
     const double rel_deadline =
         deadline_cycles > 0.0 ? deadline_cycles : period_cycles;
     std::size_t spec_idx = modelSpecs.size();
@@ -189,8 +204,10 @@ Workload::hasDeadlines() const
 double
 fpsPeriodCycles(double fps, double clock_ghz)
 {
-    if (fps <= 0.0 || clock_ghz <= 0.0)
-        util::fatal("fpsPeriodCycles: fps and clock must be > 0");
+    if (!std::isfinite(fps) || fps <= 0.0 ||
+        !std::isfinite(clock_ghz) || clock_ghz <= 0.0)
+        util::fatal("fpsPeriodCycles: fps and clock must be finite "
+                    "and > 0");
     return clock_ghz * 1e9 / fps;
 }
 
@@ -324,6 +341,33 @@ mixedTenantOverloaded(int frames60, double overload,
     wl.addModel(dnn::focalLengthDepthNet(), 1, /*arrival=*/0.0,
                 /*deadline=*/8.25e7);
     // Best-effort MLPerf tenant: batch job, no deadline.
+    wl.addModel(dnn::ssdMobileNetV1(), 1);
+    return wl;
+}
+
+Workload
+faultedFactory(int frames60, double clock_ghz)
+{
+    if (frames60 < 1)
+        util::fatal("faultedFactory: frames60 must be >= 1");
+    Workload wl("factory-faulted");
+    const double p60 = fpsPeriodCycles(60.0, clock_ghz);
+    const double p30 = fpsPeriodCycles(30.0, clock_ghz);
+    const double p15 = fpsPeriodCycles(15.0, clock_ghz);
+    // Multi-period deadlines: roughly 25% utilization per
+    // sub-accelerator of an edge-class 2-way HDA fault-free, so one
+    // surviving sub-accelerator still has headroom to absorb
+    // re-homed work — the gap a fault-aware scheduler exploits and a
+    // fault-oblivious schedule cannot.
+    wl.addPeriodicModel(dnn::mobileNetV2(), frames60, p60,
+                        3.0 * p60);
+    wl.addPeriodicModel(dnn::brqHandposeNet(),
+                        std::max(1, frames60 / 2), p30, 2.0 * p30);
+    wl.addPeriodicModel(dnn::resnet50(), std::max(1, frames60 / 4),
+                        p15, 1.5 * p15);
+    // Best-effort batch job: no deadline, so only total capacity
+    // exhaustion (every sub-accelerator permanently dead) can stop
+    // it — the graceful-degradation force-drop path.
     wl.addModel(dnn::ssdMobileNetV1(), 1);
     return wl;
 }

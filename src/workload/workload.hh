@@ -196,6 +196,19 @@ Workload mixedTenantOverloaded(int frames60 = 8,
                                double clock_ghz = 1.0);
 
 /**
+ * Factory-floor inspection mix for fault-injection studies: three
+ * periodic streams (MobileNetV2 @ 60 FPS, Br-Q Handpose @ 30 FPS,
+ * Resnet50 @ 15 FPS) with multi-period deadlines — enough slack that
+ * an edge-class 2-way HDA meets every deadline fault-free AND a
+ * fault-aware scheduler can re-home work onto the survivor when a
+ * sub-accelerator dies — plus one best-effort batch job (no
+ * deadline) that exercises graceful degradation when capacity runs
+ * out entirely. Paired with sched::factoryFaultTimeline() by
+ * bench/bench_faults.cc and the fault tests.
+ */
+Workload faultedFactory(int frames60 = 4, double clock_ghz = 1.0);
+
+/**
  * Over-subscribed interactive mix: two heavy loose-SLA analytics
  * jobs (long individual layers) sharing the chip with a dense
  * tight-deadline interactive frame stream whose arrivals land in the

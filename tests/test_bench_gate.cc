@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Bench-regression-gate tests: the mini JSON parser behind
+ * --check-against (bench/bench_baseline.hh) must flatten well-formed
+ * bench emissions and reject corrupt ones — truncated files,
+ * non-numeric values, duplicate keys, non-finite numbers — with a
+ * clear error instead of silently comparing garbage, and the
+ * BaselineChecker must fail loudly rather than go inert when the
+ * baseline's structure no longer matches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "bench/bench_baseline.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace herald;
+using benchgate::BaselineChecker;
+using benchgate::FlatJson;
+
+class BenchGateTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    FlatJson
+    parse(const std::string &text)
+    {
+        return benchgate::detail::Parser(text, "test").run();
+    }
+};
+
+// ---------------------------------------------------------------
+// Parser: well-formed documents
+// ---------------------------------------------------------------
+
+TEST_F(BenchGateTest, FlattensNestedObjectsAndArrays)
+{
+    FlatJson doc = parse(R"({
+      "fifo": {"layers_per_sec": 10.5, "ok": true},
+      "scenarios": [{"name": "a", "misses": 3},
+                    {"name": "b", "misses": 0}],
+      "note": "hello\nworld",
+      "nothing": null
+    })");
+    EXPECT_DOUBLE_EQ(doc.number("fifo.layers_per_sec"), 10.5);
+    EXPECT_DOUBLE_EQ(doc.number("fifo.ok"), 1.0);
+    EXPECT_DOUBLE_EQ(doc.number("scenarios.1.misses"), 0.0);
+    ASSERT_NE(doc.findString("scenarios.0.name"), nullptr);
+    EXPECT_EQ(*doc.findString("scenarios.0.name"), "a");
+    EXPECT_EQ(*doc.findString("note"), "hello\nworld");
+    // null binds nothing.
+    EXPECT_FALSE(doc.hasNumber("nothing"));
+    EXPECT_EQ(doc.findString("nothing"), nullptr);
+    EXPECT_EQ(doc.arrayLen("scenarios", "misses"), 2u);
+}
+
+TEST_F(BenchGateTest, ParsesNegativeAndExponentNumbers)
+{
+    FlatJson doc = parse(R"({"a": -1.5, "b": 2.5e6, "c": 0})");
+    EXPECT_DOUBLE_EQ(doc.number("a"), -1.5);
+    EXPECT_DOUBLE_EQ(doc.number("b"), 2.5e6);
+    EXPECT_DOUBLE_EQ(doc.number("c"), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Parser: corrupt documents
+// ---------------------------------------------------------------
+
+TEST_F(BenchGateTest, RejectsTruncatedDocuments)
+{
+    // A partially written bench JSON (crash mid-emit, full disk)
+    // must fail the gate, not be compared as-is.
+    EXPECT_THROW(parse(R"({"fifo": {"layers_per_sec": 10)"),
+                 std::runtime_error);
+    EXPECT_THROW(parse(R"({"rows": [1, 2,)"), std::runtime_error);
+    EXPECT_THROW(parse(R"({"name": "unterminated)"),
+                 std::runtime_error);
+    EXPECT_THROW(parse(""), std::runtime_error);
+    EXPECT_THROW(parse("{"), std::runtime_error);
+}
+
+TEST_F(BenchGateTest, RejectsNonNumericAndMalformedValues)
+{
+    EXPECT_THROW(parse(R"({"a": oops})"), std::runtime_error);
+    EXPECT_THROW(parse(R"({"a": truE})"), std::runtime_error);
+    EXPECT_THROW(parse(R"({"a": ,})"), std::runtime_error);
+    // Trailing content after a complete document.
+    EXPECT_THROW(parse(R"({"a": 1} garbage)"), std::runtime_error);
+}
+
+TEST_F(BenchGateTest, RejectsNonFiniteNumbers)
+{
+    // strtod happily reads these; a NaN baseline would make every
+    // comparison vacuously pass.
+    EXPECT_THROW(parse(R"({"a": inf})"), std::runtime_error);
+    EXPECT_THROW(parse(R"({"a": -inf})"), std::runtime_error);
+    EXPECT_THROW(parse(R"({"a": nan})"), std::runtime_error);
+    EXPECT_THROW(parse(R"({"a": 1e999})"), std::runtime_error);
+}
+
+TEST_F(BenchGateTest, RejectsDuplicateKeys)
+{
+    // Same type: the later value would silently win the comparison.
+    EXPECT_THROW(parse(R"({"a": 1, "a": 2})"), std::runtime_error);
+    // Re-bound with a different type is just as corrupt.
+    EXPECT_THROW(parse(R"({"a": 1, "a": "x"})"),
+                 std::runtime_error);
+    EXPECT_THROW(parse(R"({"a": "x", "a": 1})"),
+                 std::runtime_error);
+    // Duplicates in nested objects flatten to the same dotted path.
+    EXPECT_THROW(parse(R"({"o": {"k": 1}, "o": {"k": 2}})"),
+                 std::runtime_error);
+    // Same key name at different depths is NOT a duplicate.
+    FlatJson doc = parse(R"({"k": 1, "o": {"k": 2}})");
+    EXPECT_DOUBLE_EQ(doc.number("k"), 1.0);
+    EXPECT_DOUBLE_EQ(doc.number("o.k"), 2.0);
+}
+
+TEST_F(BenchGateTest, ParseJsonFileFailsOnMissingFile)
+{
+    EXPECT_THROW(
+        benchgate::parseJsonFile("/nonexistent/bench.json"),
+        std::runtime_error);
+}
+
+TEST_F(BenchGateTest, ParseToleranceArgIsStrict)
+{
+    EXPECT_DOUBLE_EQ(benchgate::parseToleranceArg("25"), 25.0);
+    EXPECT_DOUBLE_EQ(benchgate::parseToleranceArg("-1000"),
+                     -1000.0);
+    EXPECT_THROW(benchgate::parseToleranceArg("x25"),
+                 std::runtime_error);
+    EXPECT_THROW(benchgate::parseToleranceArg("25x"),
+                 std::runtime_error);
+    EXPECT_THROW(benchgate::parseToleranceArg(""),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// BaselineChecker semantics
+// ---------------------------------------------------------------
+
+TEST_F(BenchGateTest, ThroughputGateHonorsTolerance)
+{
+    FlatJson cur = parse(R"({"x": {"layers_per_sec": 80}})");
+    FlatJson base = parse(R"({"x": {"layers_per_sec": 100}})");
+
+    // 80 vs 100 passes at 25% tolerance, fails at 10%.
+    BaselineChecker loose(cur, base, 25.0);
+    loose.checkThroughput("x.layers_per_sec");
+    EXPECT_TRUE(loose.verdict("test"));
+
+    BaselineChecker tight(cur, base, 10.0);
+    tight.checkThroughput("x.layers_per_sec");
+    EXPECT_FALSE(tight.verdict("test"));
+
+    // The self-check trick: negative tolerance demands current
+    // strictly exceed the baseline.
+    BaselineChecker self(cur, base, -1000.0);
+    self.checkThroughput("x.layers_per_sec");
+    EXPECT_FALSE(self.verdict("test"));
+}
+
+TEST_F(BenchGateTest, CountGateIsToleranceFree)
+{
+    FlatJson cur = parse(R"({"misses": 4})");
+    FlatJson base = parse(R"({"misses": 3})");
+    BaselineChecker chk(cur, base, 25.0);
+    chk.checkCountNotAbove("misses", "misses");
+    EXPECT_FALSE(chk.verdict("test"));
+
+    BaselineChecker eq(base, base, 25.0);
+    eq.checkCountNotAbove("misses", "misses");
+    EXPECT_TRUE(eq.verdict("test"));
+}
+
+TEST_F(BenchGateTest, InertGateIsAFailure)
+{
+    // A baseline whose keys all went missing must fail the gate,
+    // not skip every probe and stay green forever.
+    FlatJson cur = parse(R"({"renamed": 1})");
+    FlatJson base = parse(R"({"gone": 1})");
+    BaselineChecker chk(cur, base, 25.0);
+    chk.checkThroughput("other");
+    EXPECT_FALSE(chk.verdict("test"));
+}
+
+TEST_F(BenchGateTest, PolicyMissRowsMatchByLabel)
+{
+    // Rows reordered between runs: label matching must pair them.
+    FlatJson cur = parse(R"({"rows": [
+        {"policy": "edf", "misses": 1},
+        {"policy": "fifo", "misses": 5}]})");
+    FlatJson base = parse(R"({"rows": [
+        {"policy": "fifo", "misses": 5},
+        {"policy": "edf", "misses": 2}]})");
+    BaselineChecker chk(cur, base, 25.0);
+    benchgate::checkPolicyMissRows(chk, cur, base, "rows", "rows",
+                                   "rows");
+    EXPECT_TRUE(chk.verdict("test"));
+
+    // A baseline row with no current counterpart fails.
+    FlatJson missing = parse(R"({"rows": [
+        {"policy": "edf", "misses": 1}]})");
+    BaselineChecker chk2(missing, base, 25.0);
+    benchgate::checkPolicyMissRows(chk2, missing, base, "rows",
+                                   "rows", "rows");
+    EXPECT_FALSE(chk2.verdict("test"));
+}
+
+} // namespace

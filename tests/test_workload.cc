@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "dnn/model_zoo.hh"
 #include "util/logging.hh"
 #include "workload/workload.hh"
@@ -154,6 +156,54 @@ TEST_F(WorkloadTest, UniqueModelOutOfRangePanics)
     EXPECT_THROW(wl.uniqueModel(1), std::logic_error);
     EXPECT_THROW(wl.uniqueIdOfSpec(1), std::logic_error);
     EXPECT_THROW(wl.uniqueIdOfInstance(1), std::logic_error);
+}
+
+TEST_F(WorkloadTest, RejectsNonFiniteRealtimeParameters)
+{
+    // NaN slips through ordered comparisons (NaN < 0 is false), so
+    // the guards must check finiteness explicitly — a NaN arrival
+    // or deadline would silently poison every release/slack
+    // computation downstream.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    Workload wl("test");
+    EXPECT_THROW(wl.addModel(dnn::uNet(), 1, nan),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addModel(dnn::uNet(), 1, inf),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addModel(dnn::uNet(), 1, 0.0, nan),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::uNet(), 1, nan),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::uNet(), 1, inf),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::uNet(), 1, 1e6, nan),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::uNet(), 1, 1e6, -1.0),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::uNet(), 1, 1e6, 0.0, nan),
+                 std::runtime_error);
+    EXPECT_THROW(wl.addPeriodicModel(dnn::uNet(), 1, 1e6, 0.0, -5.0),
+                 std::runtime_error);
+    EXPECT_THROW(workload::fpsPeriodCycles(nan), std::runtime_error);
+    EXPECT_THROW(workload::fpsPeriodCycles(inf), std::runtime_error);
+    EXPECT_THROW(workload::fpsPeriodCycles(60.0, nan),
+                 std::runtime_error);
+    // Nothing was added by any rejected call.
+    EXPECT_EQ(wl.numInstances(), 0u);
+}
+
+TEST_F(WorkloadTest, FaultedFactoryComposition)
+{
+    Workload wl = workload::faultedFactory(4);
+    EXPECT_EQ(wl.name(), "factory-faulted");
+    // 4 + 2 + 1 periodic instances plus one best-effort frame.
+    EXPECT_EQ(wl.numInstances(), 8u);
+    EXPECT_TRUE(wl.hasArrivals());
+    EXPECT_TRUE(wl.hasDeadlines());
+    // The best-effort instance has no deadline.
+    EXPECT_FALSE(wl.instances().back().hasDeadline());
+    EXPECT_THROW(workload::faultedFactory(0), std::runtime_error);
 }
 
 TEST_F(WorkloadTest, CachedTotalsMatchInstanceSums)
