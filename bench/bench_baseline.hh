@@ -29,8 +29,7 @@
  *    not break CI until the baseline is refreshed).
  */
 
-#ifndef HERALD_BENCH_BENCH_BASELINE_HH
-#define HERALD_BENCH_BENCH_BASELINE_HH
+#pragma once
 
 #include <cctype>
 #include <cmath>
@@ -490,4 +489,3 @@ checkPolicyMissRows(BaselineChecker &chk, const FlatJson &current,
 
 } // namespace herald::benchgate
 
-#endif // HERALD_BENCH_BENCH_BASELINE_HH

@@ -7,8 +7,7 @@
  * EXPERIMENTS.md compares.
  */
 
-#ifndef HERALD_BENCH_BENCH_COMMON_HH
-#define HERALD_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -143,4 +142,3 @@ summaryTable()
 
 } // namespace herald::bench
 
-#endif // HERALD_BENCH_BENCH_COMMON_HH

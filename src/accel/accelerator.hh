@@ -5,8 +5,7 @@
  * Table III (FDA, scaled-out multi-FDA, RDA, HDA).
  */
 
-#ifndef HERALD_ACCEL_ACCELERATOR_HH
-#define HERALD_ACCEL_ACCELERATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -109,4 +108,3 @@ class Accelerator
 
 } // namespace herald::accel
 
-#endif // HERALD_ACCEL_ACCELERATOR_HH

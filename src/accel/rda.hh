@@ -13,8 +13,7 @@
  * scales with the PE count).
  */
 
-#ifndef HERALD_ACCEL_RDA_HH
-#define HERALD_ACCEL_RDA_HH
+#pragma once
 
 #include "accel/accelerator.hh"
 #include "cost/cost_model.hh"
@@ -70,4 +69,3 @@ StyledLayerCost evaluateOnSub(cost::CostModel &model,
 
 } // namespace herald::accel
 
-#endif // HERALD_ACCEL_RDA_HH

@@ -5,8 +5,7 @@
  * style, PE share and global-NoC bandwidth share).
  */
 
-#ifndef HERALD_ACCEL_SUB_ACCELERATOR_HH
-#define HERALD_ACCEL_SUB_ACCELERATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -34,4 +33,3 @@ std::string toString(const SubAccelerator &sub);
 
 } // namespace herald::accel
 
-#endif // HERALD_ACCEL_SUB_ACCELERATOR_HH

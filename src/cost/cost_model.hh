@@ -13,8 +13,7 @@
  * coefficients.
  */
 
-#ifndef HERALD_COST_COST_MODEL_HH
-#define HERALD_COST_COST_MODEL_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -234,4 +233,3 @@ class CostModel
 
 } // namespace herald::cost
 
-#endif // HERALD_COST_COST_MODEL_HH

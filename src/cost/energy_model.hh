@@ -11,8 +11,7 @@
  * compared (see EXPERIMENTS.md).
  */
 
-#ifndef HERALD_COST_ENERGY_MODEL_HH
-#define HERALD_COST_ENERGY_MODEL_HH
+#pragma once
 
 namespace herald::cost
 {
@@ -63,4 +62,3 @@ void validate(const EnergyModel &model);
 
 } // namespace herald::cost
 
-#endif // HERALD_COST_ENERGY_MODEL_HH

@@ -15,8 +15,7 @@
  * reduction dimensions (NVDLA's adder tree, Eyeriss' row accumulation).
  */
 
-#ifndef HERALD_COST_REUSE_ANALYSIS_HH
-#define HERALD_COST_REUSE_ANALYSIS_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -117,4 +116,3 @@ std::uint64_t refetchFactor(const dnn::CanonicalConv &conv,
 
 } // namespace herald::cost
 
-#endif // HERALD_COST_REUSE_ANALYSIS_HH

@@ -10,8 +10,7 @@
  * extent (ceil-division padding models edge underutilization).
  */
 
-#ifndef HERALD_DATAFLOW_LOOP_NEST_HH
-#define HERALD_DATAFLOW_LOOP_NEST_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -166,4 +165,3 @@ bool tensorUsesDim(const dnn::CanonicalConv &conv, TensorKind tensor,
 
 } // namespace herald::dataflow
 
-#endif // HERALD_DATAFLOW_LOOP_NEST_HH

@@ -11,8 +11,7 @@
  * staging capacity.
  */
 
-#ifndef HERALD_DATAFLOW_MAPPER_HH
-#define HERALD_DATAFLOW_MAPPER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -46,4 +45,3 @@ Mapping buildMapping(DataflowStyle style,
 
 } // namespace herald::dataflow
 
-#endif // HERALD_DATAFLOW_MAPPER_HH

@@ -3,8 +3,7 @@
  * The dataflow styles evaluated in the paper (Table III).
  */
 
-#ifndef HERALD_DATAFLOW_STYLE_HH
-#define HERALD_DATAFLOW_STYLE_HH
+#pragma once
 
 #include <array>
 #include <string>
@@ -44,4 +43,3 @@ const char *shortName(DataflowStyle style);
 
 } // namespace herald::dataflow
 
-#endif // HERALD_DATAFLOW_STYLE_HH

@@ -10,8 +10,7 @@
  * analysis engine has exactly one code path.
  */
 
-#ifndef HERALD_DNN_LAYER_HH
-#define HERALD_DNN_LAYER_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -160,4 +159,3 @@ Layer makeTransposedConv(std::string name, std::uint64_t k,
 
 } // namespace herald::dnn
 
-#endif // HERALD_DNN_LAYER_HH

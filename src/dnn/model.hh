@@ -9,8 +9,7 @@
  * order and carry no compute, so they are not materialized.
  */
 
-#ifndef HERALD_DNN_MODEL_HH
-#define HERALD_DNN_MODEL_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -52,4 +51,3 @@ class Model
 
 } // namespace herald::dnn
 
-#endif // HERALD_DNN_MODEL_HH

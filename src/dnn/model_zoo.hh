@@ -12,8 +12,7 @@
  * substitutions are documented in DESIGN.md.
  */
 
-#ifndef HERALD_DNN_MODEL_ZOO_HH
-#define HERALD_DNN_MODEL_ZOO_HH
+#pragma once
 
 #include "dnn/model.hh"
 
@@ -52,4 +51,3 @@ Model gnmt(std::uint64_t tokens = 20);
 
 } // namespace herald::dnn
 
-#endif // HERALD_DNN_MODEL_ZOO_HH

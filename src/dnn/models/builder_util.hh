@@ -5,8 +5,7 @@
  * files).
  */
 
-#ifndef HERALD_DNN_MODELS_BUILDER_UTIL_HH
-#define HERALD_DNN_MODELS_BUILDER_UTIL_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -53,4 +52,3 @@ addDepthwiseSame(Model &m, const std::string &name, std::uint64_t c,
 
 } // namespace herald::dnn::detail
 
-#endif // HERALD_DNN_MODELS_BUILDER_UTIL_HH

@@ -6,8 +6,7 @@
  * search strategies.
  */
 
-#ifndef HERALD_DSE_DESIGN_SPACE_HH
-#define HERALD_DSE_DESIGN_SPACE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -77,4 +76,3 @@ refineAround(const PartitionCandidate &center, std::uint64_t total_pes,
 
 } // namespace herald::dse
 
-#endif // HERALD_DSE_DESIGN_SPACE_HH

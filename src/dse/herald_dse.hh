@@ -8,8 +8,7 @@
  * the chosen objective.
  */
 
-#ifndef HERALD_DSE_HERALD_DSE_HH
-#define HERALD_DSE_HERALD_DSE_HH
+#pragma once
 
 #include <optional>
 #include <string>
@@ -144,4 +143,3 @@ class Herald
 
 } // namespace herald::dse
 
-#endif // HERALD_DSE_HERALD_DSE_HH

@@ -25,8 +25,7 @@
  * fault-free scheduler.
  */
 
-#ifndef HERALD_SCHED_FAULT_MODEL_HH
-#define HERALD_SCHED_FAULT_MODEL_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -219,4 +218,3 @@ FaultTimeline factoryFaultTimeline(std::size_t n_sub_accs,
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_FAULT_MODEL_HH

@@ -6,8 +6,7 @@
  * load balancing and no idle-time post-processing.
  */
 
-#ifndef HERALD_SCHED_GREEDY_SCHEDULER_HH
-#define HERALD_SCHED_GREEDY_SCHEDULER_HH
+#pragma once
 
 #include "sched/herald_scheduler.hh"
 
@@ -31,4 +30,3 @@ class GreedyScheduler
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_GREEDY_SCHEDULER_HH

@@ -29,8 +29,7 @@
  * tests/test_sched_equivalence.cc).
  */
 
-#ifndef HERALD_SCHED_HERALD_SCHEDULER_HH
-#define HERALD_SCHED_HERALD_SCHEDULER_HH
+#pragma once
 
 #include "accel/rda.hh"
 #include "cost/cost_model.hh"
@@ -257,4 +256,3 @@ class HeraldScheduler
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_HERALD_SCHEDULER_HH

@@ -25,8 +25,7 @@
  * the cost model per layer.
  */
 
-#ifndef HERALD_SCHED_LAYER_COST_TABLE_HH
-#define HERALD_SCHED_LAYER_COST_TABLE_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -184,4 +183,3 @@ class LayerCostTable
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_LAYER_COST_TABLE_HH

@@ -26,8 +26,7 @@
  * an interval [s, e) covers t iff s <= t + eps < ... < e.
  */
 
-#ifndef HERALD_SCHED_MEMORY_TRACKER_HH
-#define HERALD_SCHED_MEMORY_TRACKER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -155,4 +154,3 @@ class MemoryTracker
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_MEMORY_TRACKER_HH

@@ -7,8 +7,7 @@
  * around).
  */
 
-#ifndef HERALD_SCHED_METRIC_HH
-#define HERALD_SCHED_METRIC_HH
+#pragma once
 
 #include "cost/cost_model.hh"
 
@@ -30,4 +29,3 @@ double metricValue(Metric metric, const cost::LayerCost &cost);
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_METRIC_HH

@@ -23,8 +23,7 @@
  * factory scenarios).
  */
 
-#ifndef HERALD_SCHED_POLICY_HH
-#define HERALD_SCHED_POLICY_HH
+#pragma once
 
 #include <cstddef>
 #include <memory>
@@ -216,4 +215,3 @@ makeSelectionPolicy(Policy policy, const workload::Workload &wl,
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_POLICY_HH

@@ -13,8 +13,7 @@
  * scenario; bench_sched_throughput uses it as the speedup baseline.
  */
 
-#ifndef HERALD_SCHED_REFERENCE_SCHEDULER_HH
-#define HERALD_SCHED_REFERENCE_SCHEDULER_HH
+#pragma once
 
 #include "sched/herald_scheduler.hh"
 
@@ -33,4 +32,3 @@ Schedule referenceSchedule(cost::CostModel &model,
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_REFERENCE_SCHEDULER_HH

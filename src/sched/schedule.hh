@@ -6,8 +6,7 @@
  * a sub-accelerator with a start/end time in cycles.
  */
 
-#ifndef HERALD_SCHED_SCHEDULE_HH
-#define HERALD_SCHED_SCHEDULE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -273,4 +272,3 @@ std::string checkContextPenalties(const Schedule &schedule,
 
 } // namespace herald::sched
 
-#endif // HERALD_SCHED_SCHEDULE_HH

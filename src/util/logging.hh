@@ -7,8 +7,7 @@
  * user constructed by hand); warn()/inform() never stop execution.
  */
 
-#ifndef HERALD_UTIL_LOGGING_HH
-#define HERALD_UTIL_LOGGING_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -92,4 +91,3 @@ inform(Args &&...args)
 
 } // namespace herald::util
 
-#endif // HERALD_UTIL_LOGGING_HH

@@ -3,8 +3,7 @@
  * Small integer-math helpers shared by the mapper, cost model and DSE.
  */
 
-#ifndef HERALD_UTIL_MATH_UTILS_HH
-#define HERALD_UTIL_MATH_UTILS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -78,4 +77,3 @@ class SplitMix64
 
 } // namespace herald::util
 
-#endif // HERALD_UTIL_MATH_UTILS_HH

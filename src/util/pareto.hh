@@ -4,8 +4,7 @@
  * reproduce the Pareto curves of Fig. 11 and to pick final designs.
  */
 
-#ifndef HERALD_UTIL_PARETO_HH
-#define HERALD_UTIL_PARETO_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -39,4 +38,3 @@ std::size_t minEdpIndex(const std::vector<DesignPoint> &points);
 
 } // namespace herald::util
 
-#endif // HERALD_UTIL_PARETO_HH

@@ -4,8 +4,7 @@
  * to emit paper-style tables, plus a CSV writer for plot series.
  */
 
-#ifndef HERALD_UTIL_TABLE_HH
-#define HERALD_UTIL_TABLE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -50,4 +49,3 @@ std::string fmtPercent(double fraction, int digits = 1);
 
 } // namespace herald::util
 
-#endif // HERALD_UTIL_TABLE_HH

@@ -13,8 +13,7 @@
  * environment variable > std::thread::hardware_concurrency().
  */
 
-#ifndef HERALD_UTIL_THREAD_POOL_HH
-#define HERALD_UTIL_THREAD_POOL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -87,4 +86,3 @@ class ThreadPool
 
 } // namespace herald::util
 
-#endif // HERALD_UTIL_THREAD_POOL_HH

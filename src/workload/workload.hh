@@ -15,8 +15,7 @@
  * metrics (sched::SlaStats) consume.
  */
 
-#ifndef HERALD_WORKLOAD_WORKLOAD_HH
-#define HERALD_WORKLOAD_WORKLOAD_HH
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -227,4 +226,3 @@ Workload interactiveOverloaded(int frames60 = 8,
 
 } // namespace herald::workload
 
-#endif // HERALD_WORKLOAD_WORKLOAD_HH

@@ -341,9 +341,10 @@ TEST_F(FaultTest, LayersNeverStartInsideAnOutage)
     EXPECT_EQ(s.validate(wl, acc, &tl), "");
     for (const sched::ScheduledLayer &e : s.entries()) {
         EXPECT_TRUE(tl.availableAt(e.accIdx, e.startCycle));
-        if (!e.faultKilled)
+        if (!e.faultKilled) {
             EXPECT_TRUE(tl.windowAvailable(e.accIdx, e.startCycle,
                                            e.duration()));
+        }
     }
 }
 
@@ -469,9 +470,10 @@ TEST_F(FaultTest, FaultAwareStrictlyBeatsFaultOblivious)
             // Graceful degradation is monotone in lost capacity and
             // strictly better than shipping the blind schedule.
             EXPECT_GE(sla.deadlineMisses, prev_misses);
-            if (failed > 0)
+            if (failed > 0) {
                 EXPECT_LT(sla.deadlineMisses,
                           oblivious.deadlineMisses);
+            }
             EXPECT_EQ(oblivious.framesRescheduled, 0u);
             prev_misses = sla.deadlineMisses;
         }
@@ -593,11 +595,12 @@ TEST_F(FaultTest, ChaosSweepIsValidConsistentAndDeterministic)
             EXPECT_EQ(sla.perInstance.size(), wl.numInstances());
             EXPECT_LE(sla.droppedFrames, sla.deadlineMisses);
             EXPECT_LE(sla.deadlineMisses, sla.framesWithDeadline);
-            if (sla.framesWithDeadline > 0)
+            if (sla.framesWithDeadline > 0) {
                 EXPECT_DOUBLE_EQ(
                     sla.missRate,
                     static_cast<double>(sla.deadlineMisses) /
                         static_cast<double>(sla.framesWithDeadline));
+            }
             std::size_t killed = 0, dropped = 0;
             for (const sched::ScheduledLayer &e : s.entries())
                 killed += e.faultKilled ? 1 : 0;

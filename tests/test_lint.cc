@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Unit tests for herald_lint — each rule fires on a known-bad snippet,
+ * stays quiet on the approved counterpart, path scoping limits rules
+ * to their trees, and allow(<rule>) suppresses exactly its rule. The
+ * committed fixtures under tools/lint/fixtures/ are linted from disk
+ * when HERALD_LINT_SOURCE_DIR points at the repo (ctest sets it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_core.hh"
+
+namespace
+{
+
+using herald::lint::Diagnostic;
+using herald::lint::Options;
+using herald::lint::lintBuffer;
+using herald::lint::lintPaths;
+
+/** Rule names present in a diagnostic list. */
+std::set<std::string>
+rulesIn(const std::vector<Diagnostic> &diags)
+{
+    std::set<std::string> rules;
+    for (const Diagnostic &d : diags)
+        rules.insert(d.rule);
+    return rules;
+}
+
+int
+countRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(diags.begin(), diags.end(),
+                      [&](const Diagnostic &d) { return d.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, RegistryListsEveryShippedRule)
+{
+    std::set<std::string> names;
+    for (const herald::lint::RuleInfo &r : herald::lint::ruleList())
+        names.insert(r.name);
+    EXPECT_TRUE(names.count("no-unordered-iteration"));
+    EXPECT_TRUE(names.count("no-wallclock-rand"));
+    EXPECT_TRUE(names.count("no-bare-lock"));
+    EXPECT_TRUE(names.count("no-stdout-in-lib"));
+    EXPECT_TRUE(names.count("header-hygiene"));
+    EXPECT_TRUE(names.count("bad-suppression"));
+    EXPECT_TRUE(herald::lint::knownRule("no-bare-lock"));
+    EXPECT_FALSE(herald::lint::knownRule("no-bear-lock"));
+}
+
+// ---------------------------------------------------------------------------
+// no-unordered-iteration
+// ---------------------------------------------------------------------------
+
+TEST(LintUnorderedIteration, RangeForOverUnorderedMapFires)
+{
+    const std::string src = R"(
+        #include <unordered_map>
+        int f() {
+            std::unordered_map<int, int> m;
+            int s = 0;
+            for (const auto &kv : m)
+                s += kv.second;
+            return s;
+        }
+    )";
+    auto diags = lintBuffer("src/sched/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-unordered-iteration"), 1);
+}
+
+TEST(LintUnorderedIteration, IteratorLoopFires)
+{
+    const std::string src = R"(
+        #include <unordered_set>
+        int f() {
+            std::unordered_set<int> seen;
+            int s = 0;
+            for (auto it = seen.begin(); it != seen.end(); ++it)
+                s += *it;
+            return s;
+        }
+    )";
+    auto diags = lintBuffer("src/dse/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-unordered-iteration"), 1);
+}
+
+TEST(LintUnorderedIteration, SortedMaterializationIsClean)
+{
+    const std::string src = R"(
+        #include <algorithm>
+        #include <unordered_map>
+        #include <vector>
+        int f() {
+            std::unordered_map<int, int> m;
+            std::vector<std::pair<int, int>> rows(m.begin(), m.end());
+            std::sort(rows.begin(), rows.end());
+            int s = 0;
+            for (const auto &kv : rows)
+                s += kv.second;
+            return s;
+        }
+    )";
+    auto diags = lintBuffer("src/sched/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-unordered-iteration"), 0);
+}
+
+TEST(LintUnorderedIteration, LookupsAreClean)
+{
+    const std::string src = R"(
+        #include <unordered_map>
+        int f() {
+            std::unordered_map<int, int> m;
+            m[3] = 4;
+            return m.count(3) ? m.at(3) : 0;
+        }
+    )";
+    auto diags = lintBuffer("src/sched/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-unordered-iteration"), 0);
+}
+
+TEST(LintUnorderedIteration, ScopedToResultAffectingTrees)
+{
+    const std::string src = R"(
+        #include <unordered_map>
+        int f() {
+            std::unordered_map<int, int> m;
+            int s = 0;
+            for (const auto &kv : m)
+                s += kv.second;
+            return s;
+        }
+    )";
+    EXPECT_EQ(countRule(lintBuffer("src/util/foo.cc", src),
+                        "no-unordered-iteration"), 0);
+    EXPECT_EQ(countRule(lintBuffer("tests/test_foo.cc", src),
+                        "no-unordered-iteration"), 0);
+
+    Options everywhere;
+    everywhere.allPaths = true;
+    EXPECT_EQ(countRule(lintBuffer("tests/test_foo.cc", src, everywhere),
+                        "no-unordered-iteration"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// no-wallclock-rand
+// ---------------------------------------------------------------------------
+
+TEST(LintWallclockRand, EachBannedSourceFires)
+{
+    const std::string src = R"(
+        #include <chrono>
+        #include <cstdlib>
+        #include <ctime>
+        #include <random>
+        unsigned long f() {
+            unsigned long x = rand();
+            std::random_device rd;
+            x += rd();
+            x += std::chrono::steady_clock::now()
+                     .time_since_epoch().count();
+            x += time(nullptr);
+            return x;
+        }
+    )";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-wallclock-rand"), 4);
+}
+
+TEST(LintWallclockRand, LookalikeIdentifiersAreClean)
+{
+    const std::string src = R"(
+        int my_rand() { return 4; }
+        int arrivalTime(int frame) { return frame * 2; }
+        int f(int frame) {
+            // time with a real argument is somebody's own function,
+            // and member .rand() is not libc's.
+            return my_rand() + arrivalTime(frame);
+        }
+    )";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-wallclock-rand"), 0);
+}
+
+TEST(LintWallclockRand, OnlyAppliesToLibrarySources)
+{
+    const std::string src = R"(
+        #include <chrono>
+        double now() {
+            return std::chrono::steady_clock::now()
+                       .time_since_epoch().count();
+        }
+    )";
+    EXPECT_EQ(countRule(lintBuffer("src/cost/foo.cc", src),
+                        "no-wallclock-rand"), 1);
+    // Benches time themselves with the wall clock; that is the point.
+    EXPECT_EQ(countRule(lintBuffer("bench/bench_foo.cc", src),
+                        "no-wallclock-rand"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// no-bare-lock
+// ---------------------------------------------------------------------------
+
+TEST(LintBareLock, RawLockUnlockFireEverywhere)
+{
+    const std::string src = R"(
+        #include <mutex>
+        std::mutex m;
+        void f() {
+            m.lock();
+            m.unlock();
+        }
+    )";
+    // No path scoping: tests and benches deadlock just as hard.
+    auto diags = lintBuffer("tests/test_foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 2);
+}
+
+TEST(LintBareLock, RaiiGuardsAreClean)
+{
+    const std::string src = R"(
+        #include <mutex>
+        std::mutex m;
+        int f() {
+            std::lock_guard<std::mutex> hold(m);
+            if (m.try_lock())
+                return 1;
+            return 0;
+        }
+    )";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// no-stdout-in-lib
+// ---------------------------------------------------------------------------
+
+TEST(LintStdout, CoutAndPrintfFireInLibrary)
+{
+    const std::string src = R"(
+        #include <cstdio>
+        #include <iostream>
+        void f(int n) {
+            std::cout << n << "\n";
+            printf("%d\n", n);
+            fprintf(stdout, "%d\n", n);
+        }
+    )";
+    auto diags = lintBuffer("src/sched/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-stdout-in-lib"), 3);
+}
+
+TEST(LintStdout, StderrAndNonLibraryAreClean)
+{
+    const std::string lib = R"(
+        #include <cstdio>
+        void f(int n) { std::fprintf(stderr, "warn: %d\n", n); }
+    )";
+    EXPECT_EQ(countRule(lintBuffer("src/util/foo.cc", lib),
+                        "no-stdout-in-lib"), 0);
+
+    const std::string bench = R"(
+        #include <iostream>
+        void report(int n) { std::cout << n << "\n"; }
+    )";
+    EXPECT_EQ(countRule(lintBuffer("bench/bench_foo.cc", bench),
+                        "no-stdout-in-lib"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintHeader, MissingPragmaOnceFires)
+{
+    const std::string hdr = R"(
+        namespace x
+        {
+        int f();
+        } // namespace x
+    )";
+    auto diags = lintBuffer("src/util/foo.hh", hdr);
+    EXPECT_EQ(countRule(diags, "header-hygiene"), 1);
+    ASSERT_FALSE(diags.empty());
+    EXPECT_EQ(diags[0].line, 1u);
+}
+
+TEST(LintHeader, UsingNamespaceAtHeaderScopeFires)
+{
+    const std::string hdr = "#pragma once\n"
+                            "#include <string>\n"
+                            "using namespace std;\n"
+                            "namespace x { string f(); }\n";
+    auto diags = lintBuffer("src/util/foo.hh", hdr);
+    EXPECT_EQ(countRule(diags, "header-hygiene"), 1);
+}
+
+TEST(LintHeader, MutableGlobalFires)
+{
+    const std::string hdr = "#pragma once\n"
+                            "namespace x\n"
+                            "{\n"
+                            "int counter = 0;\n"
+                            "}\n";
+    auto diags = lintBuffer("src/util/foo.hh", hdr);
+    ASSERT_EQ(countRule(diags, "header-hygiene"), 1);
+    EXPECT_EQ(diags[0].line, 4u);
+}
+
+TEST(LintHeader, HygienicHeaderIsClean)
+{
+    const std::string hdr = R"(#pragma once
+        #include <string>
+        namespace x
+        {
+        constexpr int kLimit = 8;
+        extern int owned_elsewhere;
+        std::string f();
+        inline int
+        twice(int v)
+        {
+            using namespace std::string_literals;
+            return v * 2;
+        }
+        } // namespace x
+    )";
+    auto diags = lintBuffer("src/util/foo.hh", hdr);
+    EXPECT_EQ(countRule(diags, "header-hygiene"), 0);
+}
+
+TEST(LintHeader, SourceFilesAreExempt)
+{
+    // A .cc may keep mutable file-scope state and needs no pragma.
+    const std::string src = "namespace { int counter = 0; }\n"
+                            "int bump() { return ++counter; }\n";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "header-hygiene"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, JustifiedAllowSilencesItsRuleOnly)
+{
+    const std::string src = R"(
+        #include <mutex>
+        #include <unordered_map>
+        std::mutex m;
+        int f() {
+            std::unordered_map<int, int> u;
+            int s = 0;
+            // herald-lint: allow(no-unordered-iteration): sum is
+            for (const auto &kv : u)
+                s += kv.second;
+            m.lock(); // the allow above must not cover this rule
+            m.unlock();
+            return s;
+        }
+    )";
+    Options everywhere;
+    everywhere.allPaths = true;
+    auto diags = lintBuffer("src/sched/foo.cc", src, everywhere);
+    EXPECT_EQ(countRule(diags, "no-unordered-iteration"), 0);
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 2);
+    EXPECT_EQ(countRule(diags, "bad-suppression"), 0);
+}
+
+TEST(LintSuppression, TrailingAllowOnTheSameLineWorks)
+{
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex m;\n"
+        "void f() {\n"
+        "    m.lock(); // herald-lint: allow(no-bare-lock): FFI handoff\n"
+        "    m.unlock(); // herald-lint: allow(no-bare-lock): FFI handoff\n"
+        "}\n";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 0);
+}
+
+TEST(LintSuppression, AllowDoesNotReachTwoLinesDown)
+{
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex m;\n"
+        "void f() {\n"
+        "    // herald-lint: allow(no-bare-lock): covers next line only\n"
+        "    m.lock();\n"
+        "    m.unlock();\n"
+        "}\n";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 1);
+}
+
+TEST(LintSuppression, UnknownRuleIsReportedAndDoesNotSuppress)
+{
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex m;\n"
+        "void f() {\n"
+        "    m.lock(); // herald-lint: allow(no-bear-lock): typo\n"
+        "    m.unlock();\n"
+        "}\n";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 2);
+    EXPECT_EQ(countRule(diags, "bad-suppression"), 1);
+}
+
+TEST(LintSuppression, MissingJustificationIsReported)
+{
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex m;\n"
+        "void f() {\n"
+        "    m.lock(); // herald-lint: allow(no-bare-lock)\n"
+        "    m.unlock(); // herald-lint: allow(no-bare-lock): reviewed\n"
+        "}\n";
+    auto diags = lintBuffer("src/util/foo.cc", src);
+    // The bare allow() neither suppresses nor passes silently.
+    EXPECT_EQ(countRule(diags, "no-bare-lock"), 1);
+    EXPECT_EQ(countRule(diags, "bad-suppression"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Committed fixtures (from disk)
+// ---------------------------------------------------------------------------
+
+/** Repo root from ctest's environment, or "" to skip. */
+std::string
+sourceDir()
+{
+    const char *dir = std::getenv("HERALD_LINT_SOURCE_DIR");
+    return dir ? dir : "";
+}
+
+TEST(LintFixtures, EveryRuleFiresOnTheBadFixtures)
+{
+    const std::string root = sourceDir();
+    if (root.empty())
+        GTEST_SKIP() << "HERALD_LINT_SOURCE_DIR not set";
+    Options everywhere;
+    everywhere.allPaths = true;
+    std::vector<std::string> errors;
+    auto diags = lintPaths(root, {"tools/lint/fixtures/bad"}, everywhere,
+                           errors);
+    EXPECT_TRUE(errors.empty());
+    std::set<std::string> rules = rulesIn(diags);
+    for (const herald::lint::RuleInfo &r : herald::lint::ruleList())
+        EXPECT_TRUE(rules.count(r.name))
+            << "rule " << r.name << " has no failing fixture";
+}
+
+TEST(LintFixtures, GoodFixturesAndSourceTreeAreClean)
+{
+    const std::string root = sourceDir();
+    if (root.empty())
+        GTEST_SKIP() << "HERALD_LINT_SOURCE_DIR not set";
+    Options everywhere;
+    everywhere.allPaths = true;
+    std::vector<std::string> errors;
+    auto good = lintPaths(root, {"tools/lint/fixtures/good"}, everywhere,
+                          errors);
+    EXPECT_TRUE(errors.empty());
+    for (const Diagnostic &d : good)
+        ADD_FAILURE() << herald::lint::formatDiagnostic(d);
+
+    // The shipped tree must lint clean under the in-tree scoping —
+    // the same invocation the herald_lint_tree ctest runs.
+    auto tree = lintPaths(root, {"src", "bench", "tests", "examples"},
+                          Options(), errors);
+    EXPECT_TRUE(errors.empty());
+    for (const Diagnostic &d : tree)
+        ADD_FAILURE() << herald::lint::formatDiagnostic(d);
+}
+
+TEST(LintFixtures, DiagnosticsAreDeterministic)
+{
+    const std::string root = sourceDir();
+    if (root.empty())
+        GTEST_SKIP() << "HERALD_LINT_SOURCE_DIR not set";
+    Options everywhere;
+    everywhere.allPaths = true;
+    std::vector<std::string> errorsA, errorsB;
+    auto a = lintPaths(root, {"tools/lint/fixtures"}, everywhere, errorsA);
+    auto b = lintPaths(root, {"tools/lint/fixtures"}, everywhere, errorsB);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(herald::lint::formatDiagnostic(a[i]),
+                  herald::lint::formatDiagnostic(b[i]));
+}
+
+} // namespace

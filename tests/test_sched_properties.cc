@@ -307,8 +307,9 @@ TEST_P(SchedProperty, TimelineRenders)
     std::string timeline = s.renderTimeline(wl, 48);
     // One row per sub-accelerator plus the axis.
     EXPECT_NE(timeline.find("acc0"), std::string::npos);
-    if (acc.numSubAccs() > 1)
+    if (acc.numSubAccs() > 1) {
         EXPECT_NE(timeline.find("acc1"), std::string::npos);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -462,9 +463,10 @@ TEST(PolicyDropRandomized, ValidSchedulesAndConsistentSla)
                                 1e-6)
                             << label;
                     }
-                    if (drop == sched::DropPolicy::None)
+                    if (drop == sched::DropPolicy::None) {
                         EXPECT_TRUE(s.droppedInstances().empty())
                             << label;
+                    }
 
                     // SLA internal consistency.
                     sched::SlaStats sla = s.computeSla(wl);
@@ -492,8 +494,9 @@ TEST(PolicyDropRandomized, ValidSchedulesAndConsistentSla)
                          sla.perInstance) {
                         missed += inst.missed ? 1 : 0;
                         dropped += inst.dropped ? 1 : 0;
-                        if (inst.dropped)
+                        if (inst.dropped) {
                             EXPECT_FALSE(inst.scheduled) << label;
+                        }
                     }
                     EXPECT_EQ(missed, sla.deadlineMisses) << label;
                     EXPECT_EQ(dropped, sla.droppedFrames) << label;

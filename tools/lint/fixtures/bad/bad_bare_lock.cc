@@ -1,0 +1,17 @@
+// Negative fixture: raw lock()/unlock() instead of an RAII guard.
+#include <mutex>
+
+namespace
+{
+std::mutex gate;
+int shared_value = 0;
+} // namespace
+
+int
+bumpUnsafely()
+{
+    gate.lock();
+    int v = ++shared_value;
+    gate.unlock();
+    return v;
+}

@@ -1,0 +1,14 @@
+// Negative fixture: header with no #pragma once, a header-scope
+// using-namespace, and a mutable namespace-scope global.
+#include <string>
+
+using namespace std;
+
+namespace badfixture
+{
+
+int call_count = 0;
+
+string describe();
+
+} // namespace badfixture

@@ -1,0 +1,11 @@
+// Negative fixture: library code writing to stdout instead of
+// util/logging. Linted with --all-paths (in-tree scope: src/).
+#include <cstdio>
+#include <iostream>
+
+void
+chatty(int n)
+{
+    std::cout << "scheduled " << n << " layers\n";
+    std::printf("done\n");
+}

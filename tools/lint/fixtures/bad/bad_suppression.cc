@@ -1,0 +1,16 @@
+// Negative fixture: malformed herald-lint directives. A typo'd rule
+// name or a bare allow() must not silently disable anything.
+#include <mutex>
+
+namespace
+{
+std::mutex gate;
+} // namespace
+
+void
+takeBoth()
+{
+    // herald-lint: allow(no-bear-lock): typo'd rule name
+    gate.lock();
+    gate.unlock(); // herald-lint: allow(no-bare-lock)
+}

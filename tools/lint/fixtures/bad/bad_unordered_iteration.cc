@@ -1,0 +1,18 @@
+// Negative fixture: herald_lint must flag both iteration styles.
+// Linted with --all-paths (in-tree scope: src/sched, src/dse).
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+int
+sumAll()
+{
+    std::unordered_map<std::string, int> costs;
+    costs["conv1"] = 3;
+    int total = 0;
+    for (const auto &kv : costs)
+        total += kv.second;
+    for (auto it = costs.begin(); it != costs.end(); ++it)
+        total += it->second;
+    return total;
+}

@@ -1,0 +1,18 @@
+// Negative fixture: every wall-clock / hidden-state entropy source
+// herald_lint bans from libherald. Linted with --all-paths.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long
+entropySoup()
+{
+    unsigned long x = static_cast<unsigned long>(rand());
+    std::random_device rd;
+    x += rd();
+    x += static_cast<unsigned long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    x += static_cast<unsigned long>(time(nullptr));
+    return x;
+}

@@ -1,0 +1,25 @@
+/**
+ * Positive fixture: a hygienic header. Must stay clean even under
+ * --all-paths.
+ */
+#pragma once
+
+#include <string>
+
+namespace goodfixture
+{
+
+constexpr int kMaxRetries = 3;
+extern int externally_owned_counter;
+
+std::string describe();
+
+inline int
+timesTwo(int v)
+{
+    // Function-local using-namespace does not leak into includers.
+    using namespace std::string_literals;
+    return v * 2;
+}
+
+} // namespace goodfixture

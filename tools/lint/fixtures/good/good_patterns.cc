@@ -1,0 +1,64 @@
+// Positive fixture: the approved counterparts to everything the bad
+// fixtures do. Must stay clean even under --all-paths.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace
+{
+std::mutex gate;
+int shared_value = 0;
+} // namespace
+
+/** Seeded splitmix64: the only sanctioned entropy source. */
+std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+int
+sumDeterministically()
+{
+    std::unordered_map<std::string, int> costs;
+    costs["conv1"] = 3;
+
+    // Lookups into an unordered map are fine; only iteration is not.
+    int total = costs.count("conv1") ? costs.at("conv1") : 0;
+
+    // Iterate a sorted materialization when order can reach results.
+    std::vector<std::pair<std::string, int>> rows(costs.begin(),
+                                                  costs.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto &kv : rows)
+        total += kv.second;
+    return total;
+}
+
+// A justified suppression keeps a reviewed exception visible: this
+// loop only accumulates into a commutative sum, so visit order never
+// reaches the result.
+int
+sumCommutatively(const std::unordered_map<int, int> &histogram)
+{
+    int total = 0;
+    // herald-lint: allow(no-unordered-iteration): commutative integer
+    for (const auto &kv : histogram)
+        total += kv.second;
+    return total;
+}
+
+int
+bumpSafely()
+{
+    std::lock_guard<std::mutex> hold(gate);
+    return ++shared_value;
+}

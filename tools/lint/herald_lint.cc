@@ -1,0 +1,112 @@
+/**
+ * @file
+ * herald_lint CLI: scan source trees for determinism-contract
+ * violations.
+ *
+ *   herald_lint [--root DIR] [--all-paths] --check PATH [PATH...]
+ *   herald_lint --list-rules
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+#include "lint_core.hh"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+                 "usage: herald_lint [--root DIR] [--all-paths] "
+                 "--check PATH [PATH...]\n"
+                 "       herald_lint --list-rules\n"
+                 "\n"
+                 "  --root DIR    resolve PATHs relative to DIR "
+                 "(default: .)\n"
+                 "  --all-paths   run every rule on every file, "
+                 "ignoring path scoping\n"
+                 "  --check       lint the given files/directories "
+                 "(recursive)\n"
+                 "  --list-rules  print the rule list as "
+                 "name<TAB>scope<TAB>description\n"
+                 "\n"
+                 "Suppress a finding with a justified comment on the "
+                 "offending line\nor the line above:\n"
+                 "  // herald-lint: allow(<rule>): <justification>\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    bool allPaths = false;
+    bool check = false;
+    bool listRules = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "herald_lint: --root needs a value\n");
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--all-paths") {
+            allPaths = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "herald_lint: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const herald::lint::RuleInfo &r : herald::lint::ruleList())
+            std::printf("%s\t%s\t%s\n", r.name, r.scope, r.description);
+        return 0;
+    }
+    if (!check || paths.empty()) {
+        usage(stderr);
+        return 2;
+    }
+
+    herald::lint::Options opts;
+    opts.allPaths = allPaths;
+    std::vector<std::string> errors;
+    std::vector<herald::lint::Diagnostic> diags =
+        herald::lint::lintPaths(root, paths, opts, errors);
+
+    for (const herald::lint::Diagnostic &d : diags)
+        std::printf("%s\n", herald::lint::formatDiagnostic(d).c_str());
+    for (const std::string &e : errors)
+        std::fprintf(stderr, "herald_lint: error: %s\n", e.c_str());
+
+    if (!errors.empty())
+        return 2;
+    if (!diags.empty()) {
+        std::fprintf(stderr,
+                     "herald_lint: %zu finding(s); suppress a justified "
+                     "false positive with\n"
+                     "  // herald-lint: allow(<rule>): <reason>\n",
+                     diags.size());
+        return 1;
+    }
+    return 0;
+}

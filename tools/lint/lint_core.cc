@@ -1,0 +1,987 @@
+#include "lint_core.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace herald::lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"no-unordered-iteration", "src/sched src/dse",
+     "range-for or .begin() iteration over unordered_map/unordered_set "
+     "in result-affecting paths; iterate a sorted materialization or "
+     "justify why order cannot reach results"},
+    {"no-wallclock-rand", "src/",
+     "rand()/srand(), std::random_device, time()/clock()/gettimeofday, "
+     "and std::chrono::*_clock::now() are banned in libherald; only "
+     "seeded splitmix64 keeps runs reproducible"},
+    {"no-bare-lock", "*",
+     "raw .lock()/.unlock() calls; use std::lock_guard, "
+     "std::unique_lock, or std::scoped_lock so unlock survives "
+     "exceptions and early returns"},
+    {"no-stdout-in-lib", "src/",
+     "std::cout/printf/puts in the library; route status through "
+     "util/logging so benches and servers can silence or redirect it"},
+    {"header-hygiene", "headers",
+     "#pragma once present, no `using namespace` at header scope, no "
+     "mutable (non-const) namespace-scope globals in headers"},
+    {"bad-suppression", "*",
+     "meta-rule: a herald-lint allow() naming an unknown rule or "
+     "missing its justification"},
+};
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class Tok
+{
+    Ident,
+    Number,
+    Punct,
+    Str,
+    Chr,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    std::size_t line;
+};
+
+struct ScanResult
+{
+    std::vector<Token> toks;
+    /// line -> rules allowed on that line (and emitted there)
+    std::map<std::size_t, std::set<std::string>> allows;
+    /// preprocessor directives: (first line, joined text)
+    std::vector<std::pair<std::size_t, std::string>> directives;
+    /// malformed allow() comments, reported under bad-suppression
+    std::vector<Diagnostic> suppressionDiags;
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Parse every `herald-lint: allow(...)` directive inside one comment.
+ * The allowance covers each line the comment spans plus the line
+ * below the comment's end, so both trailing and line-above styles
+ * work. Unknown rules and missing justifications become findings.
+ */
+void
+parseSuppressions(const std::string &comment, std::size_t firstLine,
+                  std::size_t lastLine, ScanResult &res)
+{
+    const std::string marker = "herald-lint:";
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+        pos += marker.size();
+        std::size_t cursor = pos;
+        while (cursor < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[cursor])))
+            ++cursor;
+        const std::string verb = "allow";
+        if (comment.compare(cursor, verb.size(), verb) != 0 ||
+            comment[cursor + verb.size()] != '(') {
+            res.suppressionDiags.push_back(
+                {"", firstLine, "bad-suppression",
+                 "herald-lint directive is not of the form "
+                 "allow(<rule>[, <rule>...]): <justification>"});
+            continue;
+        }
+        cursor += verb.size() + 1;
+        std::size_t close = comment.find(')', cursor);
+        if (close == std::string::npos) {
+            res.suppressionDiags.push_back(
+                {"", firstLine, "bad-suppression",
+                 "unterminated allow( in herald-lint directive"});
+            break;
+        }
+        // Split the rule list on commas/whitespace.
+        std::string list = comment.substr(cursor, close - cursor);
+        std::vector<std::string> names;
+        std::string cur;
+        for (char c : list) {
+            if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+                if (!cur.empty())
+                    names.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            names.push_back(cur);
+
+        // Justification: non-whitespace text after ")" (a leading
+        // ':' or '-' separator is conventional but not required).
+        std::size_t after = close + 1;
+        while (after < comment.size() &&
+               (std::isspace(static_cast<unsigned char>(comment[after])) ||
+                comment[after] == ':' || comment[after] == '-'))
+            ++after;
+        bool justified = after < comment.size();
+
+        if (names.empty()) {
+            res.suppressionDiags.push_back(
+                {"", firstLine, "bad-suppression",
+                 "allow() lists no rules"});
+        }
+        for (const std::string &name : names) {
+            if (!knownRule(name)) {
+                res.suppressionDiags.push_back(
+                    {"", firstLine, "bad-suppression",
+                     "allow(" + name + ") names an unknown rule"});
+                continue;
+            }
+            if (!justified) {
+                res.suppressionDiags.push_back(
+                    {"", firstLine, "bad-suppression",
+                     "allow(" + name + ") needs a justification after "
+                     "the closing parenthesis"});
+                continue;
+            }
+            for (std::size_t l = firstLine; l <= lastLine + 1; ++l)
+                res.allows[l].insert(name);
+        }
+        pos = close;
+    }
+}
+
+/**
+ * Tokenize C++ source. Comments are consumed (mined for
+ * suppressions), string/char literals become opaque tokens (raw
+ * strings included, so test fixtures embedded in string literals
+ * never trip rules), and preprocessor directives are captured whole
+ * with their backslash continuations.
+ */
+ScanResult
+scan(const std::string &src)
+{
+    ScanResult res;
+    std::size_t i = 0;
+    std::size_t line = 1;
+    const std::size_t n = src.size();
+    bool atLineStart = true;
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? src[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            atLineStart = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: consume the logical line.
+        if (c == '#' && atLineStart) {
+            std::size_t startLine = line;
+            std::string text;
+            while (i < n) {
+                if (src[i] == '\\' && peek(1) == '\n') {
+                    text += ' ';
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                text += src[i];
+                ++i;
+            }
+            res.directives.emplace_back(startLine, text);
+            continue;
+        }
+        atLineStart = false;
+        // Line comment.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t startLine = line;
+            std::string text;
+            i += 2;
+            while (i < n && src[i] != '\n') {
+                text += src[i];
+                ++i;
+            }
+            parseSuppressions(text, startLine, startLine, res);
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            std::size_t startLine = line;
+            std::string text;
+            i += 2;
+            while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                text += src[i];
+                ++i;
+            }
+            i = std::min(i + 2, n);
+            parseSuppressions(text, startLine, line, res);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t d = i + 2;
+            std::string delim;
+            while (d < n && src[d] != '(' && src[d] != '\n')
+                delim += src[d++];
+            if (d < n && src[d] == '(') {
+                std::string close = ")" + delim + "\"";
+                std::size_t end = src.find(close, d + 1);
+                std::size_t stop = end == std::string::npos
+                                       ? n : end + close.size();
+                res.toks.push_back({Tok::Str, "<raw>", line});
+                for (std::size_t k = i; k < stop; ++k)
+                    if (src[k] == '\n')
+                        ++line;
+                i = stop;
+                continue;
+            }
+        }
+        // String literal.
+        if (c == '"') {
+            res.toks.push_back({Tok::Str, "<str>", line});
+            ++i;
+            while (i < n && src[i] != '"') {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            ++i;
+            continue;
+        }
+        // Char literal (digit separators are consumed by the number
+        // path below, so a bare ' here really opens a char literal).
+        if (c == '\'') {
+            res.toks.push_back({Tok::Chr, "<chr>", line});
+            ++i;
+            while (i < n && src[i] != '\'') {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                ++i;
+            }
+            ++i;
+            continue;
+        }
+        // Number (handles 1'000'000, 0x1p3, 1e-9).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t start = i;
+            ++i;
+            while (i < n) {
+                char d = src[i];
+                if (identChar(d) || d == '.') {
+                    ++i;
+                } else if (d == '\'' && identChar(peek(1))) {
+                    i += 2;
+                } else if ((d == '+' || d == '-') &&
+                           (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                            src[i - 1] == 'p' || src[i - 1] == 'P')) {
+                    ++i;
+                } else {
+                    break;
+                }
+            }
+            res.toks.push_back({Tok::Number, src.substr(start, i - start),
+                                line});
+            continue;
+        }
+        // Identifier.
+        if (identChar(c)) {
+            std::size_t start = i;
+            while (i < n && identChar(src[i]))
+                ++i;
+            res.toks.push_back({Tok::Ident, src.substr(start, i - start),
+                                line});
+            continue;
+        }
+        // Punctuation. '::' and '->' matter to the rules directly;
+        // comparison/compound-assignment operators must not decay
+        // into a bare '=' (or `operator==` reads as an initializer).
+        // '<', '>', '<<', '>>' stay single-char so template argument
+        // depth tracking keeps working on `map<int, vector<int>>`.
+        if (c == ':' && peek(1) == ':') {
+            res.toks.push_back({Tok::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && peek(1) == '>') {
+            res.toks.push_back({Tok::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        if (peek(1) == '=' && (c == '=' || c == '!' || c == '<' ||
+                               c == '>' || c == '+' || c == '-' ||
+                               c == '*' || c == '/' || c == '%' ||
+                               c == '&' || c == '|' || c == '^')) {
+            res.toks.push_back({Tok::Punct, std::string{c, '='}, line});
+            i += 2;
+            continue;
+        }
+        if ((c == '&' && peek(1) == '&') || (c == '|' && peek(1) == '|') ||
+            (c == '+' && peek(1) == '+') || (c == '-' && peek(1) == '-')) {
+            res.toks.push_back({Tok::Punct, std::string{c, peek(1)}, line});
+            i += 2;
+            continue;
+        }
+        res.toks.push_back({Tok::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends = [&](const char *suf) {
+        std::string s(suf);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends(".hh") || ends(".h") || ends(".hpp");
+}
+
+struct RuleScope
+{
+    bool unorderedIteration;
+    bool wallclockRand;
+    bool bareLock;
+    bool stdoutInLib;
+    bool headerHygiene;
+};
+
+RuleScope
+scopeFor(const std::string &path, const Options &opts)
+{
+    RuleScope s;
+    bool inLib = startsWith(path, "src/");
+    s.unorderedIteration = opts.allPaths || startsWith(path, "src/sched") ||
+                           startsWith(path, "src/dse");
+    s.wallclockRand = opts.allPaths || inLib;
+    s.bareLock = true;
+    s.stdoutInLib = opts.allPaths || inLib;
+    s.headerHygiene = isHeaderPath(path);
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Rule passes over the token stream
+// ---------------------------------------------------------------------------
+
+struct Emitter
+{
+    const std::string &path;
+    const ScanResult &scanRes;
+    std::vector<Diagnostic> &out;
+
+    void
+    emit(const std::string &rule, std::size_t line,
+         const std::string &message)
+    {
+        auto it = scanRes.allows.find(line);
+        if (it != scanRes.allows.end() && it->second.count(rule))
+            return;
+        out.push_back({path, line, rule, message});
+    }
+};
+
+/** Token text or "" past the end. */
+const std::string &
+textAt(const std::vector<Token> &t, std::size_t i)
+{
+    static const std::string empty;
+    return i < t.size() ? t[i].text : empty;
+}
+
+bool
+isIdent(const std::vector<Token> &t, std::size_t i)
+{
+    return i < t.size() && t[i].kind == Tok::Ident;
+}
+
+/**
+ * Collect names declared with an unordered container type:
+ * `std::unordered_map<K, V> name` (references, pointers, and class
+ * members included — the declaration and the loop only need to share
+ * a file for the heuristic to see both).
+ */
+std::set<std::string>
+collectUnorderedVars(const std::vector<Token> &toks)
+{
+    std::set<std::string> vars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident ||
+            (toks[i].text != "unordered_map" &&
+             toks[i].text != "unordered_set" &&
+             toks[i].text != "unordered_multimap" &&
+             toks[i].text != "unordered_multiset"))
+            continue;
+        std::size_t j = i + 1;
+        if (textAt(toks, j) != "<")
+            continue;
+        int depth = 0;
+        while (j < toks.size()) {
+            if (toks[j].text == "<")
+                ++depth;
+            else if (toks[j].text == ">")
+                --depth;
+            ++j;
+            if (depth == 0)
+                break;
+        }
+        while (j < toks.size() && (toks[j].text == "&" ||
+                                   toks[j].text == "*" ||
+                                   toks[j].text == "const"))
+            ++j;
+        if (isIdent(toks, j))
+            vars.insert(toks[j].text);
+    }
+    return vars;
+}
+
+void
+checkUnorderedIteration(const std::vector<Token> &toks, Emitter &em)
+{
+    const std::set<std::string> vars = collectUnorderedVars(toks);
+    const char *rule = "no-unordered-iteration";
+
+    // Token spans of for/while loop headers: a .begin() inside one is
+    // an iteration; a .begin() elsewhere is usually the approved
+    // sorted-materialization idiom (vector v(u.begin(), u.end())).
+    std::vector<std::pair<std::size_t, std::size_t>> loopHeaders;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == Tok::Ident &&
+            (toks[i].text == "for" || toks[i].text == "while") &&
+            toks[i + 1].text == "(") {
+            int depth = 0;
+            std::size_t j = i + 1;
+            while (j < toks.size()) {
+                if (toks[j].text == "(")
+                    ++depth;
+                else if (toks[j].text == ")" && --depth == 0)
+                    break;
+                ++j;
+            }
+            loopHeaders.emplace_back(i + 1, j);
+        }
+    }
+    auto inLoopHeader = [&](std::size_t idx) {
+        for (const auto &[lo, hi] : loopHeaders)
+            if (idx >= lo && idx <= hi)
+                return true;
+        return false;
+    };
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        // Range-for whose range expression names an unordered
+        // container outside any call's argument list.
+        if (toks[i].kind == Tok::Ident && toks[i].text == "for" &&
+            toks[i + 1].text == "(") {
+            std::size_t j = i + 1;
+            int depth = 0;
+            std::size_t colon = 0;
+            std::size_t close = 0;
+            while (j < toks.size()) {
+                if (toks[j].text == "(") {
+                    ++depth;
+                } else if (toks[j].text == ")") {
+                    --depth;
+                    if (depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (toks[j].text == ":" && depth == 1 && !colon) {
+                    colon = j;
+                }
+                ++j;
+            }
+            if (!colon || !close)
+                continue;
+            int callDepth = 0;
+            for (std::size_t k = colon + 1; k < close; ++k) {
+                if (toks[k].text == "(") {
+                    ++callDepth;
+                } else if (toks[k].text == ")") {
+                    --callDepth;
+                } else if (callDepth == 0 && toks[k].kind == Tok::Ident &&
+                           textAt(toks, k + 1) != "(") {
+                    bool hit = vars.count(toks[k].text) ||
+                               toks[k].text == "unordered_map" ||
+                               toks[k].text == "unordered_set" ||
+                               toks[k].text == "unordered_multimap" ||
+                               toks[k].text == "unordered_multiset";
+                    if (hit) {
+                        em.emit(rule, toks[k].line,
+                                "range-for over unordered container '" +
+                                    toks[k].text +
+                                    "'; iteration order is "
+                                    "implementation-defined — iterate a "
+                                    "sorted materialization instead");
+                        break;
+                    }
+                }
+            }
+        }
+        // Explicit iterator loop: u.begin() / u.cbegin() on a known
+        // unordered variable inside a loop header.
+        if (inLoopHeader(i) &&
+            toks[i].kind == Tok::Ident && vars.count(toks[i].text) &&
+            (textAt(toks, i + 1) == "." || textAt(toks, i + 1) == "->") &&
+            (textAt(toks, i + 2) == "begin" ||
+             textAt(toks, i + 2) == "cbegin") &&
+            textAt(toks, i + 3) == "(") {
+            em.emit(rule, toks[i].line,
+                    "iterator walk over unordered container '" +
+                        toks[i].text +
+                        "'; iteration order is implementation-defined");
+        }
+    }
+}
+
+void
+checkWallclockRand(const std::vector<Token> &toks, Emitter &em)
+{
+    const char *rule = "no-wallclock-rand";
+    const std::set<std::string> clockNames = {
+        "steady_clock", "system_clock", "high_resolution_clock"};
+    const std::set<std::string> nullishArgs = {"NULL", "nullptr", "0"};
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident)
+            continue;
+        const std::string &t = toks[i].text;
+        const std::string &prev = i ? toks[i - 1].text : textAt(toks, toks.size());
+        bool memberCall = prev == "." || prev == "->";
+        bool qualified = prev == "::";
+        bool stdQualified =
+            qualified && i >= 2 && toks[i - 2].text == "std";
+        // foo::rand() is somebody else's function, std::rand() is
+        // libc's. Clock types keep their own qualifier (std::chrono::
+        // steady_clock), so the guard only applies to libc names.
+        bool foreignQualified = qualified && !stdQualified;
+
+        if ((t == "rand" || t == "srand") && !memberCall &&
+            !foreignQualified &&
+            textAt(toks, i + 1) == "(") {
+            em.emit(rule, toks[i].line,
+                    t + "() draws from hidden global state; use the "
+                    "seeded splitmix64 helpers instead");
+        } else if (t == "random_device" && !memberCall) {
+            em.emit(rule, toks[i].line,
+                    "std::random_device is non-deterministic; seed "
+                    "splitmix64 with a fixed value instead");
+        } else if (clockNames.count(t) && textAt(toks, i + 1) == "::" &&
+                   textAt(toks, i + 2) == "now") {
+            em.emit(rule, toks[i].line,
+                    "std::chrono::" + t + "::now() reads the wall "
+                    "clock; results must not depend on real time");
+        } else if ((t == "gettimeofday" || t == "clock_gettime") &&
+                   !memberCall && !foreignQualified &&
+                   textAt(toks, i + 1) == "(") {
+            em.emit(rule, toks[i].line,
+                    t + "() reads the wall clock; results must not "
+                    "depend on real time");
+        } else if ((t == "time" || t == "clock") && !memberCall &&
+                   !foreignQualified && textAt(toks, i + 1) == "(") {
+            // Only the libc zero-arg/out-param forms: time(NULL),
+            // time(0), time(&t), clock(). Anything with a real
+            // argument expression is somebody's own function.
+            const std::string &arg = textAt(toks, i + 2);
+            if (arg == ")" || arg == "&" || nullishArgs.count(arg)) {
+                em.emit(rule, toks[i].line,
+                        t + "() reads the wall clock; results must "
+                        "not depend on real time");
+            }
+        }
+    }
+}
+
+void
+checkBareLock(const std::vector<Token> &toks, Emitter &em)
+{
+    const char *rule = "no-bare-lock";
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if ((toks[i].text == "." || toks[i].text == "->") &&
+            (textAt(toks, i + 1) == "lock" ||
+             textAt(toks, i + 1) == "unlock") &&
+            textAt(toks, i + 2) == "(" && textAt(toks, i + 3) == ")") {
+            em.emit(rule, toks[i + 1].line,
+                    "raw ." + toks[i + 1].text +
+                        "() call; hold mutexes via std::lock_guard / "
+                        "std::unique_lock / std::scoped_lock");
+        }
+    }
+}
+
+void
+checkStdoutInLib(const std::vector<Token> &toks, Emitter &em)
+{
+    const char *rule = "no-stdout-in-lib";
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident)
+            continue;
+        const std::string &t = toks[i].text;
+        const std::string &prev = i ? toks[i - 1].text : textAt(toks, toks.size());
+        if (prev == "." || prev == "->")
+            continue;   // member named cout/printf on some object
+        if (t == "cout") {
+            em.emit(rule, toks[i].line,
+                    "std::cout in the library; report through "
+                    "util/logging (inform/warn) instead");
+        } else if ((t == "printf" || t == "puts" || t == "putchar") &&
+                   textAt(toks, i + 1) == "(") {
+            em.emit(rule, toks[i].line,
+                    t + "() writes to stdout from the library; report "
+                    "through util/logging instead");
+        } else if (t == "fprintf" && textAt(toks, i + 1) == "(" &&
+                   textAt(toks, i + 2) == "stdout") {
+            em.emit(rule, toks[i].line,
+                    "fprintf(stdout, ...) from the library; report "
+                    "through util/logging instead");
+        }
+    }
+}
+
+/**
+ * Header hygiene. Scope tracking classifies every `{` by looking back
+ * over the current statement: a window containing `namespace` (or an
+ * extern "C" linkage block) opens namespace scope, `class`/`struct`/
+ * `enum`/`union` without parentheses opens a type body, everything
+ * else (function bodies, initializers, lambdas) is opaque. "Header
+ * scope" means every enclosing brace is a namespace.
+ */
+void
+checkHeaderHygiene(const std::vector<Token> &toks,
+                   const std::vector<std::pair<std::size_t, std::string>>
+                       &directives,
+                   Emitter &em)
+{
+    const char *rule = "header-hygiene";
+
+    bool pragmaOnce = false;
+    for (const auto &[dirLine, text] : directives) {
+        std::istringstream iss(text);
+        std::string hash, word1, word2;
+        iss >> hash >> word1 >> word2;
+        if (hash == "#" ) {
+            // "#  pragma once" — '#' separated from the keyword.
+            if (word1 == "pragma" && word2 == "once")
+                pragmaOnce = true;
+        } else if (startsWith(hash, "#")) {
+            if (hash == "#pragma" && word1 == "once")
+                pragmaOnce = true;
+        }
+    }
+    if (!pragmaOnce)
+        em.emit(rule, 1, "header is missing #pragma once");
+
+    enum class Scope
+    {
+        Namespace,
+        Type,
+        Other,
+    };
+    std::vector<Scope> stack;
+    auto atNamespaceScope = [&]() {
+        for (Scope s : stack)
+            if (s != Scope::Namespace)
+                return false;
+        return true;
+    };
+
+    std::size_t stmtStart = 0;   // first token of the current statement
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+
+        if (t == "{") {
+            // Classify by the statement tokens before this brace.
+            Scope kind = Scope::Other;
+            bool sawParen = false;
+            bool sawType = false;
+            bool sawNamespace = false;
+            bool sawAssign = false;
+            for (std::size_t k = stmtStart; k < i; ++k) {
+                const std::string &w = toks[k].text;
+                if (w == "(" || w == ")")
+                    sawParen = true;
+                else if (w == "=")
+                    sawAssign = true;
+                else if (w == "namespace")
+                    sawNamespace = true;
+                else if (w == "class" || w == "struct" || w == "union" ||
+                         w == "enum")
+                    sawType = true;
+            }
+            if (sawNamespace && !sawAssign)
+                kind = Scope::Namespace;
+            else if (sawType && !sawParen && !sawAssign)
+                kind = Scope::Type;
+            stack.push_back(kind);
+            stmtStart = i + 1;
+            continue;
+        }
+        if (t == "}") {
+            if (!stack.empty())
+                stack.pop_back();
+            stmtStart = i + 1;
+            continue;
+        }
+        if (t == ";") {
+            stmtStart = i + 1;
+            continue;
+        }
+
+        // `using namespace` with only namespace braces around it.
+        if (toks[i].kind == Tok::Ident && t == "using" &&
+            textAt(toks, i + 1) == "namespace" && atNamespaceScope()) {
+            em.emit(rule, toks[i].line,
+                    "using-namespace at header scope leaks into every "
+                    "includer; qualify names or scope the using to a "
+                    "function body");
+        }
+
+        // Mutable namespace-scope global: a simple declaration
+        // statement at namespace scope with an initializer (or a bare
+        // two-identifier declaration) and no const/constexpr.
+        if (i == stmtStart && atNamespaceScope() &&
+            toks[i].kind == Tok::Ident) {
+            static const std::set<std::string> skipLead = {
+                "using", "typedef", "static_assert", "template",
+                "extern", "friend", "namespace", "class", "struct",
+                "enum", "union", "operator", "public", "private",
+                "protected",
+            };
+            if (skipLead.count(t))
+                continue;
+            // Collect the statement; bail if it opens a scope.
+            std::size_t end = i;
+            int parens = 0;
+            bool sawParenTop = false;
+            std::size_t assign = 0;
+            bool opensScope = false;
+            for (; end < toks.size(); ++end) {
+                const std::string &w = toks[end].text;
+                if (w == "(") {
+                    if (parens == 0 && !assign)
+                        sawParenTop = true;
+                    ++parens;
+                } else if (w == ")") {
+                    --parens;
+                } else if (w == "{" && parens == 0) {
+                    opensScope = true;
+                    break;
+                } else if (w == "=" && parens == 0 && !assign) {
+                    assign = end;
+                } else if (w == ";" && parens == 0) {
+                    break;
+                }
+            }
+            if (opensScope || end >= toks.size())
+                continue;
+            // Function declarations/macro invocations carry
+            // parentheses before any initializer.
+            if (sawParenTop)
+                continue;
+            bool immutable = false;
+            std::size_t declEnd = assign ? assign : end;
+            for (std::size_t k = i; k < declEnd; ++k) {
+                const std::string &w = toks[k].text;
+                if (w == "const" || w == "constexpr" ||
+                    w == "constinit" || w == "consteval" ||
+                    w == "operator") {
+                    immutable = true;
+                    break;
+                }
+            }
+            if (immutable)
+                continue;
+            // Declarator name = last identifier before '=' / ';'.
+            std::size_t nameIdx = 0;
+            for (std::size_t k = i; k < declEnd; ++k)
+                if (toks[k].kind == Tok::Ident)
+                    nameIdx = k;
+            bool looksLikeDecl =
+                assign ? nameIdx > i
+                       : (nameIdx > i && nameIdx + 1 == end);
+            if (looksLikeDecl) {
+                em.emit(rule, toks[nameIdx].line,
+                        "mutable namespace-scope global '" +
+                            toks[nameIdx].text +
+                            "' in a header; every includer gets its "
+                            "own copy (ODR hazard) — make it "
+                            "constexpr, or move it into a .cc");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File collection
+// ---------------------------------------------------------------------------
+
+bool
+isSourcePath(const std::string &path)
+{
+    auto ends = [&](const char *suf) {
+        std::string s(suf);
+        return path.size() >= s.size() &&
+               path.compare(path.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends(".cc") || ends(".cpp") || ends(".cxx") || isHeaderPath(path);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+ruleList()
+{
+    return kRules;
+}
+
+bool
+knownRule(const std::string &name)
+{
+    for (const RuleInfo &r : kRules)
+        if (name == r.name)
+            return true;
+    return false;
+}
+
+std::vector<Diagnostic>
+lintBuffer(const std::string &path, const std::string &content,
+           const Options &opts)
+{
+    ScanResult scanRes = scan(content);
+    std::vector<Diagnostic> diags;
+    Emitter em{path, scanRes, diags};
+
+    RuleScope scope = scopeFor(path, opts);
+    if (scope.unorderedIteration)
+        checkUnorderedIteration(scanRes.toks, em);
+    if (scope.wallclockRand)
+        checkWallclockRand(scanRes.toks, em);
+    if (scope.bareLock)
+        checkBareLock(scanRes.toks, em);
+    if (scope.stdoutInLib)
+        checkStdoutInLib(scanRes.toks, em);
+    if (scope.headerHygiene)
+        checkHeaderHygiene(scanRes.toks, scanRes.directives, em);
+
+    for (Diagnostic d : scanRes.suppressionDiags) {
+        d.path = path;
+        diags.push_back(std::move(d));
+    }
+
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return diags;
+}
+
+std::vector<Diagnostic>
+lintPaths(const std::string &root, const std::vector<std::string> &paths,
+          const Options &opts, std::vector<std::string> &errors)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    const fs::path rootPath(root.empty() ? "." : root);
+
+    for (const std::string &p : paths) {
+        fs::path abs = rootPath / p;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            for (fs::recursive_directory_iterator
+                     it(abs, fs::directory_options::skip_permission_denied,
+                        ec),
+                 endIt;
+                 it != endIt; it.increment(ec)) {
+                if (ec) {
+                    errors.push_back(abs.string() + ": " + ec.message());
+                    break;
+                }
+                if (it->is_regular_file() &&
+                    isSourcePath(it->path().string()))
+                    files.push_back(
+                        fs::relative(it->path(), rootPath).generic_string());
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            files.push_back(fs::relative(abs, rootPath).generic_string());
+        } else {
+            errors.push_back(p + ": not a file or directory under " +
+                             rootPath.string());
+        }
+    }
+
+    // Sorted traversal: diagnostics order is part of the determinism
+    // contract this tool exists to defend.
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Diagnostic> diags;
+    for (const std::string &rel : files) {
+        std::ifstream in(rootPath / rel, std::ios::binary);
+        if (!in) {
+            errors.push_back(rel + ": unreadable");
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<Diagnostic> d = lintBuffer(rel, buf.str(), opts);
+        diags.insert(diags.end(), d.begin(), d.end());
+    }
+    return diags;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    std::ostringstream oss;
+    oss << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message;
+    return oss.str();
+}
+
+} // namespace herald::lint

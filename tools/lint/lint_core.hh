@@ -1,0 +1,86 @@
+/**
+ * @file
+ * herald-lint: project-specific determinism & contract static analysis.
+ *
+ * A lightweight single-pass C++ tokenizer/scanner (no libclang) that
+ * enforces the source-level rules backing Herald's determinism
+ * contract: schedules and DSE results must be bit-identical across
+ * thread counts, reruns, and platforms. The rules are heuristics over
+ * the token stream, not a full parse — false positives are expected
+ * to be rare and are silenced with a justified suppression:
+ *
+ *     // herald-lint: allow(<rule>[, <rule>...]): <justification>
+ *
+ * A suppression covers its own line and the line directly below it,
+ * so it can sit at the end of the offending line or on the line
+ * above. The justification after the closing parenthesis is
+ * mandatory; an allow() without one (or naming an unknown rule) is
+ * itself reported under the meta-rule `bad-suppression`.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace herald::lint
+{
+
+/** One finding, addressed file:line for editor navigation. */
+struct Diagnostic
+{
+    std::string path;   ///< root-relative path, forward slashes
+    std::size_t line = 0;   ///< 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** Scanner knobs. */
+struct Options
+{
+    /**
+     * Ignore per-rule path scoping and run every rule on every file.
+     * Used by the committed bad-fixture gate and the unit tests,
+     * where fixture files live outside the scoped trees.
+     */
+    bool allPaths = false;
+};
+
+/** Static description of one rule, for --list-rules. */
+struct RuleInfo
+{
+    const char *name;
+    const char *scope;  ///< machine-readable path scope ("src/", "*", ...)
+    const char *description;
+};
+
+/** Every shipped rule, in stable order (includes the meta-rule). */
+const std::vector<RuleInfo> &ruleList();
+
+/** Whether `name` is a shipped rule (meta-rule included). */
+bool knownRule(const std::string &name);
+
+/**
+ * Lint one in-memory buffer. `path` is the root-relative path used
+ * for rule scoping and in diagnostics; it does not need to exist on
+ * disk. Diagnostics come back sorted by (line, rule).
+ */
+std::vector<Diagnostic> lintBuffer(const std::string &path,
+                                   const std::string &content,
+                                   const Options &opts = Options());
+
+/**
+ * Lint files and directory trees (recursively; *.cc/.cpp/.hh/.h/.hpp)
+ * under `root`. Traversal order is sorted, so output is deterministic
+ * across platforms and reruns. Unreadable paths are appended to
+ * `errors` instead of being silently skipped.
+ */
+std::vector<Diagnostic> lintPaths(const std::string &root,
+                                  const std::vector<std::string> &paths,
+                                  const Options &opts,
+                                  std::vector<std::string> &errors);
+
+/** Render as "path:line: [rule] message". */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace herald::lint
