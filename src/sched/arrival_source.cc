@@ -1,0 +1,165 @@
+#include "sched/arrival_source.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace herald::sched
+{
+
+std::size_t
+ArrivalSource::addStream(dnn::Model model, double period_cycles,
+                         double rel_deadline_cycles,
+                         double phase_cycles, std::uint64_t frames)
+{
+    if (model.numLayers() == 0)
+        util::fatal("arrival source: empty model '", model.name(),
+                    "'");
+    if (!std::isfinite(period_cycles) || period_cycles <= 0.0)
+        util::fatal("arrival source: period must be finite and > 0, "
+                    "got ",
+                    period_cycles);
+    if (!std::isfinite(rel_deadline_cycles) ||
+        rel_deadline_cycles < 0.0)
+        util::fatal("arrival source: deadline must be finite and "
+                    ">= 0, got ",
+                    rel_deadline_cycles);
+    if (!std::isfinite(phase_cycles) || phase_cycles < 0.0)
+        util::fatal("arrival source: phase must be finite and >= 0, "
+                    "got ",
+                    phase_cycles);
+    if (frames == 0)
+        util::fatal("arrival source: frames must be >= 1");
+    if (frames != kUnboundedFrames) {
+        const double last = phase_cycles +
+                            static_cast<double>(frames - 1) *
+                                period_cycles +
+                            rel_deadline_cycles;
+        if (!(last <= workload::kMaxCycle))
+            util::fatal("arrival source: stream of ", frames,
+                        " frames overflows the ", workload::kMaxCycle,
+                        "-cycle limit, got last deadline ", last);
+    }
+    Stream s;
+    s.model = std::move(model);
+    s.periodCycles = period_cycles;
+    s.relDeadlineCycles = rel_deadline_cycles;
+    s.phaseCycles = phase_cycles;
+    s.frames = frames;
+    streamList.push_back(std::move(s));
+    cursor.push_back(0);
+    return streamList.size() - 1;
+}
+
+std::vector<dnn::Model>
+ArrivalSource::models() const
+{
+    std::vector<dnn::Model> out;
+    out.reserve(streamList.size());
+    for (const Stream &s : streamList)
+        out.push_back(s.model);
+    return out;
+}
+
+ArrivalSource::Frame
+ArrivalSource::frameOf(std::size_t s, std::uint64_t f) const
+{
+    const Stream &stream = streamList[s];
+    Frame frame;
+    frame.streamIdx = s;
+    frame.frameIdx = f;
+    frame.arrivalCycle = stream.phaseCycles +
+                         static_cast<double>(f) *
+                             stream.periodCycles;
+    // Unbounded streams cannot be range-checked at addStream time,
+    // so the generator enforces the cycle limit as it crosses it.
+    if (!(frame.arrivalCycle + stream.relDeadlineCycles <=
+          workload::kMaxCycle))
+        util::fatal("arrival source: stream ", s, " frame ", f,
+                    " overflows the ", workload::kMaxCycle,
+                    "-cycle limit, got arrival ", frame.arrivalCycle);
+    frame.deadlineCycle = stream.relDeadlineCycles > 0.0
+                              ? frame.arrivalCycle +
+                                    stream.relDeadlineCycles
+                              : workload::kNoDeadline;
+    return frame;
+}
+
+std::size_t
+ArrivalSource::nextStream(const std::vector<std::uint64_t> &cur) const
+{
+    std::size_t best = streamList.size();
+    double best_arrival = 0.0;
+    for (std::size_t s = 0; s < streamList.size(); ++s) {
+        const Stream &stream = streamList[s];
+        if (cur[s] >= stream.frames)
+            continue;
+        const double arrival =
+            stream.phaseCycles +
+            static_cast<double>(cur[s]) * stream.periodCycles;
+        // Strict < keeps ties on the lowest stream index — the order
+        // materialize() lists equal-arrival frames in.
+        if (best == streamList.size() || arrival < best_arrival) {
+            best = s;
+            best_arrival = arrival;
+        }
+    }
+    return best;
+}
+
+bool
+ArrivalSource::exhausted() const
+{
+    return nextStream(cursor) == streamList.size();
+}
+
+ArrivalSource::Frame
+ArrivalSource::peek() const
+{
+    const std::size_t s = nextStream(cursor);
+    if (s == streamList.size())
+        util::panic("arrival source: peek past the last frame");
+    return frameOf(s, cursor[s]);
+}
+
+ArrivalSource::Frame
+ArrivalSource::next()
+{
+    const std::size_t s = nextStream(cursor);
+    if (s == streamList.size())
+        util::panic("arrival source: next past the last frame");
+    Frame frame = frameOf(s, cursor[s]);
+    ++cursor[s];
+    ++emittedCount;
+    return frame;
+}
+
+void
+ArrivalSource::reset()
+{
+    cursor.assign(streamList.size(), 0);
+    emittedCount = 0;
+}
+
+workload::Workload
+ArrivalSource::materialize(const std::string &name) const
+{
+    for (std::size_t s = 0; s < streamList.size(); ++s) {
+        if (streamList[s].frames == kUnboundedFrames)
+            util::fatal("arrival source: cannot materialize stream ",
+                        s, " ('", streamList[s].model.name(),
+                        "'): unbounded frame budget");
+    }
+    workload::Workload wl(name);
+    std::vector<std::uint64_t> cur(streamList.size(), 0);
+    for (std::size_t s = nextStream(cur); s != streamList.size();
+         s = nextStream(cur)) {
+        const Frame frame = frameOf(s, cur[s]);
+        wl.addModel(streamList[s].model, 1, frame.arrivalCycle,
+                    streamList[s].relDeadlineCycles);
+        ++cur[s];
+    }
+    return wl;
+}
+
+} // namespace herald::sched

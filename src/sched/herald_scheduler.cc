@@ -47,16 +47,46 @@ toString(Preemption preemption)
     util::panic("unknown Preemption");
 }
 
+void
+SchedulerOptions::validate() const
+{
+    // NaN poisons every ordered comparison downstream (all false),
+    // so finiteness is checked explicitly, mirroring the workload
+    // constructors.
+    if (!(loadBalanceFactor >= 1.0))
+        util::fatal("load-balancing factor must be >= 1, got ",
+                    loadBalanceFactor);
+    if (!(loadBalanceMaxDegradation >= 1.0))
+        util::fatal("load-balancing max degradation must be >= 1, "
+                    "got ",
+                    loadBalanceMaxDegradation);
+    if (lookaheadDepth < 0 || maxPostPasses < 0)
+        util::fatal("negative post-processing parameter: lookahead ",
+                    lookaheadDepth, ", max passes ", maxPostPasses);
+    if (!std::isfinite(lstHysteresisCycles) ||
+        lstHysteresisCycles < 0.0)
+        util::fatal("LST hysteresis band must be finite and >= 0, "
+                    "got ",
+                    lstHysteresisCycles);
+    // A hysteresis band with a policy that never consults it is a
+    // contradiction, not a tuning choice: the caller believes grants
+    // are sticky when selection ignores the band entirely.
+    if (lstHysteresisCycles > 0.0 && effectivePolicy() != Policy::Lst)
+        util::fatal("lstHysteresisCycles is an LST knob; policy is ",
+                    toString(effectivePolicy()),
+                    " — set policy = Policy::Lst or drop the band");
+    if (!std::isfinite(contextChangeCycles) ||
+        contextChangeCycles < 0.0)
+        util::fatal("context-change penalty must be finite and >= 0, "
+                    "got ",
+                    contextChangeCycles);
+}
+
 HeraldScheduler::HeraldScheduler(cost::CostModel &model,
                                  SchedulerOptions options)
     : costModel(model), opts(options)
 {
-    if (opts.loadBalanceFactor < 1.0)
-        util::fatal("load-balancing factor must be >= 1");
-    if (opts.lookaheadDepth < 0 || opts.maxPostPasses < 0)
-        util::fatal("negative post-processing parameter");
-    if (opts.lstHysteresisCycles < 0.0)
-        util::fatal("negative LST hysteresis band");
+    opts.validate();
 }
 
 Schedule

@@ -211,6 +211,18 @@ struct SchedulerOptions
      * bit-identical for every thread count.
      */
     std::size_t prefillThreads = 0;
+
+    /**
+     * Reject contradictory or meaningless combinations up front
+     * (util::fatal) instead of silently no-opping: negative or NaN
+     * cycle knobs, a load-balancing factor below 1, negative
+     * post-processing budgets, and an LST hysteresis band paired
+     * with a policy that never consults it. Both HeraldScheduler and
+     * OnlineScheduler call this from their constructors; callers
+     * composing options programmatically may call it directly for an
+     * early error.
+     */
+    void validate() const;
 };
 
 /** The Herald scheduler. */

@@ -248,11 +248,85 @@ MemoryTracker::reserve(std::size_t num_intervals)
 std::size_t
 MemoryTracker::add(double start, double dur, double bytes)
 {
-    std::size_t idx = intervals.size();
-    intervals.push_back(Interval{start, start + dur, bytes});
+    std::size_t idx;
+    if (!freeSlots.empty()) {
+        idx = freeSlots.back();
+        freeSlots.pop_back();
+        intervals[idx] = Interval{start, start + dur, bytes};
+    } else {
+        idx = intervals.size();
+        intervals.push_back(Interval{start, start + dur, bytes});
+    }
     insertEvent(start, bytes, idx);
     insertEvent(start + dur, -bytes, idx);
     return idx;
+}
+
+std::size_t
+MemoryTracker::retireBefore(double floor_cycle)
+{
+    if (blocks.empty())
+        return 0;
+    // Every candidate interval (end <= floor) has both events at
+    // times <= floor, so the whole retirement lives in the event
+    // prefix up to the first event with time > floor. Events in the
+    // prefix owned by intervals straddling the floor (start <= floor
+    // < end) survive and are re-chunked in place.
+    const Pos stop = upperBound(floor_cycle);
+    if (stop.block == 0 && stop.off == 0)
+        return 0;
+    const bool partial = stop.block < blocks.size();
+    const std::size_t full_blocks = partial ? stop.block
+                                            : blocks.size();
+    std::vector<Event> keep;
+    std::size_t removed = 0;
+    auto sift = [&](const Event &e) {
+        if (intervals[e.idx].end <= floor_cycle) {
+            // The -bytes event is the later of the pair, so the slot
+            // is freed exactly once, after its +bytes partner was
+            // already sifted.
+            if (e.delta < 0.0) {
+                intervals[e.idx] = Interval{0.0, 0.0, 0.0};
+                freeSlots.push_back(e.idx);
+                ++removed;
+            }
+        } else {
+            keep.push_back(e);
+        }
+    };
+    for (std::size_t b = 0; b < full_blocks; ++b) {
+        for (const Event &e : blocks[b].ev)
+            sift(e);
+    }
+    if (partial) {
+        const std::vector<Event> &ev = blocks[stop.block].ev;
+        for (std::size_t i = 0; i < stop.off; ++i)
+            sift(ev[i]);
+        keep.insert(keep.end(),
+                    ev.begin() + static_cast<std::ptrdiff_t>(stop.off),
+                    ev.end());
+    }
+    if (removed == 0)
+        return 0;
+    std::vector<Block> rebuilt;
+    for (std::size_t i = 0; i < keep.size();
+         i += kTargetBlockEvents) {
+        const std::size_t n =
+            std::min(keep.size() - i, kTargetBlockEvents);
+        Block block;
+        block.ev.assign(keep.begin() + static_cast<std::ptrdiff_t>(i),
+                        keep.begin() +
+                            static_cast<std::ptrdiff_t>(i + n));
+        for (const Event &e : block.ev)
+            block.deltaSum += e.delta;
+        rebuilt.push_back(std::move(block));
+    }
+    const std::size_t suffix = full_blocks + (partial ? 1 : 0);
+    for (std::size_t b = suffix; b < blocks.size(); ++b)
+        rebuilt.push_back(std::move(blocks[b]));
+    blocks = std::move(rebuilt);
+    rebuildFenwick();
+    return removed;
 }
 
 void

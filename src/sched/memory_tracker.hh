@@ -78,10 +78,32 @@ class MemoryTracker
     /** Retime interval @p idx to begin at @p new_start. */
     void move(std::size_t idx, double new_start);
 
+    /**
+     * Drop every interval whose end is <= @p floor_cycle and free its
+     * slot for reuse by add(). Callers must guarantee that every
+     * future query (occupancy / feasible / firstFeasible) starts at
+     * or after @p floor_cycle and that retired indices are never
+     * passed to move()/exclude again: a retired interval then
+     * contributes both its +bytes and -bytes event to every prefix a
+     * query can read, so removing the pair leaves all results
+     * bit-identical. The online scheduler calls this with its
+     * monotone retirement floor (no committed work can start before
+     * it); the offline scheduler never retires. Returns the number of
+     * intervals retired.
+     */
+    std::size_t retireBefore(double floor_cycle);
+
     /** Occupancy at time @p t, optionally excluding one interval. */
     double occupancy(double t, std::size_t exclude = SIZE_MAX) const;
 
     std::size_t numIntervals() const { return intervals.size(); }
+
+    /** Intervals still on the timeline (slots minus retired). */
+    std::size_t
+    liveIntervals() const
+    {
+        return intervals.size() - freeSlots.size();
+    }
 
   private:
     /** +bytes at an interval start, -bytes at its end. */
@@ -111,6 +133,7 @@ class MemoryTracker
 
     double capacity;
     std::vector<Interval> intervals;
+    std::vector<std::size_t> freeSlots; //!< retired interval slots
     std::vector<Block> blocks;   //!< time-ordered, all non-empty
     std::vector<double> fenwick; //!< 1-based BIT over block deltaSums
 

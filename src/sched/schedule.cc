@@ -74,10 +74,41 @@ Schedule::isDropped(std::size_t instance_idx) const
                               instance_idx);
 }
 
+std::size_t
+Schedule::retireEntriesBefore(
+    double cycle,
+    const std::function<void(const ScheduledLayer &)> &observer)
+{
+    if (retiredBusy.empty())
+        retiredBusy.assign(numAccs, 0.0);
+    // Commit order is not end order (breadth-first round-robin
+    // interleaves accelerators), so retirement is an order-preserving
+    // sweep over the live entries rather than a prefix chop.
+    std::size_t w = 0;
+    const std::size_t before = list.size();
+    for (std::size_t r = 0; r < before; ++r) {
+        const ScheduledLayer &e = list[r];
+        if (e.endCycle <= cycle) {
+            if (observer)
+                observer(e);
+            retiredMakespan = std::max(retiredMakespan, e.endCycle);
+            retiredEnergy += e.energyUnits;
+            retiredBusy[e.accIdx] += e.duration();
+            ++retiredCount;
+        } else {
+            if (w != r)
+                list[w] = list[r];
+            ++w;
+        }
+    }
+    list.resize(w);
+    return before - w;
+}
+
 double
 Schedule::makespanCycles() const
 {
-    double makespan = 0.0;
+    double makespan = retiredMakespan;
     for (const ScheduledLayer &e : list)
         makespan = std::max(makespan, e.endCycle);
     return makespan;
@@ -86,7 +117,8 @@ Schedule::makespanCycles() const
 double
 Schedule::busyCycles(std::size_t acc_idx) const
 {
-    double busy = 0.0;
+    double busy =
+        acc_idx < retiredBusy.size() ? retiredBusy[acc_idx] : 0.0;
     for (const ScheduledLayer &e : list) {
         if (e.accIdx == acc_idx)
             busy += e.duration();
@@ -104,6 +136,11 @@ Schedule::finalize(const accel::Accelerator &acc,
     summary.latencySec = summary.makespanCycles / (clock_ghz * 1e9);
     summary.busyCycles.resize(acc.numSubAccs(), 0.0);
 
+    summary.energyUnits = retiredEnergy;
+    for (std::size_t a = 0;
+         a < std::min(retiredBusy.size(), summary.busyCycles.size());
+         ++a)
+        summary.busyCycles[a] = retiredBusy[a];
     for (const ScheduledLayer &e : list) {
         summary.energyUnits += e.energyUnits;
         summary.busyCycles[e.accIdx] += e.duration();
@@ -139,6 +176,10 @@ Schedule::finalize(const workload::Workload &wl,
 SlaStats
 Schedule::computeSla(const workload::Workload &wl) const
 {
+    if (retiredCount > 0)
+        util::panic("computeSla needs the full entry list, but ",
+                    retiredCount, " entries were retired; read "
+                    "rolling counters from OnlineScheduler::stats()");
     SlaStats stats;
     stats.frames = wl.numInstances();
     if (stats.frames == 0)
@@ -232,6 +273,9 @@ Schedule::validate(const workload::Workload &wl,
 {
     std::ostringstream err;
 
+    if (retiredCount > 0)
+        util::panic("validate needs the full entry list, but ",
+                    retiredCount, " entries were retired");
     if (numAccs != acc.numSubAccs()) {
         err << "schedule built for " << numAccs
             << " sub-accelerators, accelerator has "
@@ -469,6 +513,9 @@ Schedule::validate(const workload::Workload &wl,
 std::uint64_t
 Schedule::peakOccupancyBytes() const
 {
+    if (retiredCount > 0)
+        util::panic("peakOccupancyBytes needs the full entry list, "
+                    "but ", retiredCount, " entries were retired");
     struct Event
     {
         double time;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -173,6 +174,29 @@ class Schedule
      */
     bool identicalTo(const Schedule &other) const;
 
+    /**
+     * Remove every entry with endCycle <= @p cycle, folding it into
+     * compact aggregates (per-sub-accelerator busy cycles, energy,
+     * makespan, count) so makespanCycles() / busyCycles() /
+     * finalize() stay exact while live storage is O(in-flight
+     * entries). Commit order is preserved among survivors. An
+     * optional @p observer sees each retired entry in list order
+     * (within one sub-accelerator that is time order — the
+     * schedulers commit per-accelerator work with monotone
+     * frontiers), which is how the online scheduler's watchdog
+     * audits history it is about to forget. Queries that need the
+     * full entry list (computeSla, validate, peakOccupancyBytes)
+     * fail loudly once anything was retired. Returns the number of
+     * entries retired.
+     */
+    std::size_t retireEntriesBefore(
+        double cycle,
+        const std::function<void(const ScheduledLayer &)> &observer =
+            {});
+
+    /** Entries removed by retireEntriesBefore() so far. */
+    std::size_t retiredEntries() const { return retiredCount; }
+
     const std::vector<ScheduledLayer> &entries() const { return list; }
     std::vector<ScheduledLayer> &mutableEntries() { return list; }
     std::size_t numSubAccs() const { return numAccs; }
@@ -255,6 +279,12 @@ class Schedule
     std::size_t numAccs;
     std::vector<ScheduledLayer> list;
     std::vector<std::size_t> droppedList; //!< sorted ascending
+
+    // Aggregates of retired history (retireEntriesBefore).
+    std::size_t retiredCount = 0;
+    double retiredMakespan = 0.0;
+    double retiredEnergy = 0.0;
+    std::vector<double> retiredBusy; //!< per sub-acc; lazily sized
 };
 
 /**

@@ -58,10 +58,24 @@ Workload::registerSpec(const dnn::Model &model, int copies)
         uniqueSpec.push_back(spec_idx);
     specUniqueId.push_back(uid);
 
+    // Guard the 64-bit MAC accumulator: "model @ FPS for K frames"
+    // with a huge K can wrap copies * totalMacs() (or the running
+    // sum) and corrupt every downstream throughput statistic.
+    const std::uint64_t macs = model.totalMacs();
+    const std::uint64_t n = static_cast<std::uint64_t>(copies);
+    if (macs > 0 &&
+        n > std::numeric_limits<std::uint64_t>::max() / macs)
+        util::fatal("workload '", wlName, "': ", copies, " copies of '",
+                    model.name(), "' overflow the 64-bit MAC counter");
+    const std::uint64_t add = n * macs;
+    if (cachedTotalMacs >
+        std::numeric_limits<std::uint64_t>::max() - add)
+        util::fatal("workload '", wlName,
+                    "': total MACs overflow the 64-bit counter at '",
+                    model.name(), "'");
     cachedTotalLayers +=
         static_cast<std::size_t>(copies) * model.numLayers();
-    cachedTotalMacs +=
-        static_cast<std::uint64_t>(copies) * model.totalMacs();
+    cachedTotalMacs += add;
 }
 
 void
@@ -84,6 +98,11 @@ Workload::addModel(dnn::Model model, int batches,
         util::fatal("workload '", wlName,
                     "': deadline must be finite and >= 0, got ",
                     deadline_cycles);
+    if (arrival_cycle + deadline_cycles > kMaxCycle)
+        util::fatal("workload '", wlName,
+                    "': arrival + deadline exceeds the ", kMaxCycle,
+                    "-cycle limit, got ",
+                    arrival_cycle + deadline_cycles);
     std::size_t spec_idx = modelSpecs.size();
     for (int b = 0; b < batches; ++b) {
         Instance inst;
@@ -127,6 +146,19 @@ Workload::addPeriodicModel(dnn::Model model, int frames,
                     phase_cycles);
     const double rel_deadline =
         deadline_cycles > 0.0 ? deadline_cycles : period_cycles;
+    // Reject streams whose cycle arithmetic would leave the 2^53
+    // integer-exact range: past it, arrival = phase + f*period stops
+    // resolving individual cycles and frames silently alias. The
+    // check covers the last frame's deadline, the largest value the
+    // stream ever produces.
+    const double last_cycle = phase_cycles +
+                              static_cast<double>(frames - 1) *
+                                  period_cycles +
+                              rel_deadline;
+    if (!(last_cycle <= kMaxCycle))
+        util::fatal("workload '", wlName, "': stream of ", frames,
+                    " frames overflows the ", kMaxCycle,
+                    "-cycle limit, got last deadline ", last_cycle);
     std::size_t spec_idx = modelSpecs.size();
     for (int f = 0; f < frames; ++f) {
         Instance inst;
@@ -208,7 +240,11 @@ fpsPeriodCycles(double fps, double clock_ghz)
         !std::isfinite(clock_ghz) || clock_ghz <= 0.0)
         util::fatal("fpsPeriodCycles: fps and clock must be finite "
                     "and > 0");
-    return clock_ghz * 1e9 / fps;
+    const double period = clock_ghz * 1e9 / fps;
+    if (!(period <= kMaxCycle))
+        util::fatal("fpsPeriodCycles: period exceeds the ", kMaxCycle,
+                    "-cycle limit, got ", period);
+    return period;
 }
 
 Workload

@@ -31,6 +31,15 @@ namespace herald::workload
 inline constexpr double kNoDeadline =
     std::numeric_limits<double>::infinity();
 
+/**
+ * Largest cycle value the workload layer accepts (2^53, the last
+ * point where doubles still resolve single cycles). Beyond it,
+ * arrival/deadline arithmetic silently loses whole cycles and the
+ * epsilon-based dispatch comparisons stop being meaningful, so
+ * construction rejects it instead of wrapping into nonsense.
+ */
+inline constexpr double kMaxCycle = 9007199254740992.0;
+
 /** Real-time attributes of a model spec (0 = aperiodic / none). */
 struct RealtimeSpec
 {

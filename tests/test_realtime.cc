@@ -907,19 +907,19 @@ TEST_F(RealtimeTest, LstHysteresisReducesThrashNotQuality)
               cb.computeSla(wl).deadlineMisses);
 }
 
-TEST_F(RealtimeTest, HysteresisIsNoOpForNonLstPolicies)
+TEST_F(RealtimeTest, HysteresisRejectedForNonLstPolicies)
 {
-    // The band is an LST knob: FIFO/EDF selection must be untouched.
+    // The band is an LST knob: on FIFO/EDF it would silently do
+    // nothing, so validation rejects the combination up front.
     Accelerator acc = miniHda();
     Workload wl = workload::mixedTenantOverloaded(4);
     for (auto policy : {sched::Policy::Fifo, sched::Policy::Edf}) {
-        SchedulerOptions off;
-        off.policy = policy;
-        SchedulerOptions band = off;
+        SchedulerOptions band;
+        band.policy = policy;
         band.lstHysteresisCycles = 1e6;
-        Schedule a = HeraldScheduler(model, off).schedule(wl, acc);
-        Schedule b = HeraldScheduler(model, band).schedule(wl, acc);
-        EXPECT_TRUE(a.identicalTo(b)) << sched::toString(policy);
+        EXPECT_THROW(HeraldScheduler(model, band).schedule(wl, acc),
+                     std::runtime_error)
+            << sched::toString(policy);
     }
 }
 

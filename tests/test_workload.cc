@@ -206,6 +206,43 @@ TEST_F(WorkloadTest, FaultedFactoryComposition)
     EXPECT_THROW(workload::faultedFactory(0), std::runtime_error);
 }
 
+TEST_F(WorkloadTest, PeriodicExpansionGuardsCycleOverflow)
+{
+    // With the implicit one-period deadline, frame K-1 of a
+    // period-P stream carries deadline K * P; K * 1e15 crosses the
+    // 2^53-cycle limit between K = 9 (9e15, representable) and
+    // K = 10 (1e16, past it). The guard must cut exactly there —
+    // beyond 2^53 consecutive doubles stop being consecutive
+    // integers and arrival arithmetic silently loses cycles.
+    Workload ok("edge");
+    ok.addPeriodicModel(dnn::mobileNetV2(), 9, 1e15);
+    EXPECT_EQ(ok.numInstances(), 9u);
+    EXPECT_DOUBLE_EQ(ok.instances().back().deadlineCycle, 9e15);
+
+    Workload over("over");
+    EXPECT_THROW(over.addPeriodicModel(dnn::mobileNetV2(), 10, 1e15),
+                 std::runtime_error);
+
+    // Same limit on the aperiodic path (arrival + deadline).
+    Workload ap("ap");
+    EXPECT_THROW(ap.addModel(dnn::mobileNetV2(), 1, 8e15, 2e15),
+                 std::runtime_error);
+    ap.addModel(dnn::mobileNetV2(), 1, 8e15, 1e15);
+    EXPECT_EQ(ap.numInstances(), 1u);
+}
+
+TEST_F(WorkloadTest, FpsPeriodCyclesGuardsDegenerateRates)
+{
+    EXPECT_GT(workload::fpsPeriodCycles(30.0, 1.0), 0.0);
+    // An fps so small the period overflows the cycle limit.
+    EXPECT_THROW(workload::fpsPeriodCycles(1e-10, 1.0),
+                 std::runtime_error);
+    EXPECT_THROW(workload::fpsPeriodCycles(0.0, 1.0),
+                 std::runtime_error);
+    EXPECT_THROW(workload::fpsPeriodCycles(30.0, -1.0),
+                 std::runtime_error);
+}
+
 TEST_F(WorkloadTest, CachedTotalsMatchInstanceSums)
 {
     Workload wl("test");
