@@ -167,8 +167,91 @@ Accelerator::resources(std::size_t idx) const
     cost::SubAccResources res;
     res.numPes = subs[idx].numPes;
     res.bwGBps = subs[idx].bwGBps;
-    res.l2Bytes = chipClass.globalBufferBytes / subs.size();
+    res.l2Bytes = bufShare.empty()
+                      ? chipClass.globalBufferBytes / subs.size()
+                      : bufShare[idx];
     return res;
+}
+
+std::uint64_t
+movedPes(const PartitionEpoch &from, const PartitionEpoch &to)
+{
+    if (from.peSplit.size() != to.peSplit.size())
+        util::fatal("movedPes: epoch arity mismatch (",
+                    from.peSplit.size(), " vs ", to.peSplit.size(),
+                    ")");
+    std::uint64_t moved = 0;
+    for (std::size_t i = 0; i < from.peSplit.size(); ++i) {
+        if (to.peSplit[i] > from.peSplit[i])
+            moved += to.peSplit[i] - from.peSplit[i];
+    }
+    return moved;
+}
+
+double
+reconfigPenaltyCycles(std::uint64_t moved_pes, double drain_cycles,
+                      double per_pe_rewire_cycles)
+{
+    if (!std::isfinite(drain_cycles) || drain_cycles < 0.0 ||
+        !std::isfinite(per_pe_rewire_cycles) ||
+        per_pe_rewire_cycles < 0.0) {
+        util::fatal("reconfigPenaltyCycles: penalty knobs must be "
+                    "finite and non-negative");
+    }
+    return drain_cycles +
+           static_cast<double>(moved_pes) * per_pe_rewire_cycles;
+}
+
+PartitionEpoch
+Accelerator::partitionEpoch() const
+{
+    PartitionEpoch epoch;
+    epoch.epochId = epochId;
+    epoch.peSplit.reserve(subs.size());
+    epoch.bwSplit.reserve(subs.size());
+    for (const SubAccelerator &sub : subs) {
+        epoch.peSplit.push_back(sub.numPes);
+        epoch.bwSplit.push_back(sub.bwGBps);
+    }
+    epoch.bufferSplit = bufShare;
+    return epoch;
+}
+
+Accelerator
+Accelerator::withPartition(const PartitionEpoch &epoch) const
+{
+    if (epoch.peSplit.size() != subs.size() ||
+        epoch.bwSplit.size() != subs.size() ||
+        (!epoch.bufferSplit.empty() &&
+         epoch.bufferSplit.size() != subs.size())) {
+        util::fatal("accelerator '", accName,
+                    "': partition epoch arity mismatch");
+    }
+    if (!epoch.bufferSplit.empty()) {
+        std::uint64_t buf = 0;
+        for (std::uint64_t b : epoch.bufferSplit) {
+            if (b == 0)
+                util::fatal("accelerator '", accName,
+                            "': partition epoch with zero buffer "
+                            "share");
+            buf += b;
+        }
+        if (buf != chipClass.globalBufferBytes) {
+            util::fatal("accelerator '", accName,
+                        "': buffer shares sum to ", buf,
+                        " != global buffer ",
+                        chipClass.globalBufferBytes);
+        }
+    }
+    Accelerator next(*this);
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+        next.subs[i].numPes = epoch.peSplit[i];
+        next.subs[i].bwGBps = epoch.bwSplit[i];
+    }
+    next.bufShare = epoch.bufferSplit;
+    next.epochId = epoch.epochId;
+    next.validate(); // re-checks PE/bandwidth sums and non-zero shares
+    return next;
 }
 
 } // namespace herald::accel

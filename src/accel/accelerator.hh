@@ -47,6 +47,39 @@ enum class AcceleratorKind
 const char *toString(AcceleratorKind kind);
 
 /**
+ * One versioned resource split across sub-accelerators. Epoch 0 is
+ * the split the accelerator was constructed with; each runtime
+ * repartitioning produces a successor epoch via
+ * Accelerator::withPartition().
+ */
+struct PartitionEpoch
+{
+    std::uint64_t epochId = 0;
+    std::vector<std::uint64_t> peSplit;
+    std::vector<double> bwSplit;
+    /**
+     * Per-sub-accelerator share of the global buffer in bytes; empty
+     * means an even split (the epoch-0 default).
+     */
+    std::vector<std::uint64_t> bufferSplit;
+};
+
+/**
+ * PEs that change owner between two epochs: the sum of positive
+ * per-sub-accelerator deltas (fatal on arity mismatch).
+ */
+std::uint64_t movedPes(const PartitionEpoch &from,
+                       const PartitionEpoch &to);
+
+/**
+ * Modeled cost of swapping in a new epoch: a fixed pipeline-drain
+ * term plus a rewire term proportional to the PEs that change owner.
+ */
+double reconfigPenaltyCycles(std::uint64_t moved_pes,
+                             double drain_cycles,
+                             double per_pe_rewire_cycles);
+
+/**
  * A fully-specified accelerator: sub-accelerators plus the shared
  * global buffer. Factories enforce Definition 1's constraints: PE and
  * bandwidth shares sum exactly to the chip budget.
@@ -93,15 +126,36 @@ class Accelerator
 
     /**
      * Cost-model resource view of sub-accelerator @p idx: its PE and
-     * bandwidth share plus an even share of the global buffer.
+     * bandwidth share plus its buffer share (an even share of the
+     * global buffer unless a later epoch reassigned it).
      */
     cost::SubAccResources resources(std::size_t idx) const;
+
+    /**
+     * The live resource split as a PartitionEpoch (buffer split is
+     * empty while the epoch-0 even split is still in force).
+     */
+    PartitionEpoch partitionEpoch() const;
+
+    /** Epoch id of the live split (0 until repartitioned). */
+    std::uint64_t partitionEpochId() const { return epochId; }
+
+    /**
+     * A copy of this accelerator running @p epoch's split: same
+     * styles and chip, new per-sub-acc PE/bandwidth/buffer shares.
+     * Arity must match and the shares must sum to the chip budget
+     * (fatal otherwise, like the factories).
+     */
+    Accelerator withPartition(const PartitionEpoch &epoch) const;
 
   private:
     std::string accName;
     AcceleratorKind accKind;
     std::vector<SubAccelerator> subs;
     AcceleratorClass chipClass;
+    /** Per-sub-acc buffer bytes; empty = epoch-0 even split. */
+    std::vector<std::uint64_t> bufShare;
+    std::uint64_t epochId = 0;
 
     void validate() const;
 };

@@ -130,23 +130,28 @@ DsePoint
 Herald::evaluate(const workload::Workload &wl,
                  const accel::Accelerator &acc) const
 {
-    return evaluateImpl(wl, acc, opts.scheduler.prefillThreads);
+    return evaluateImpl(wl, acc, opts.scheduler.reconfig,
+                        opts.scheduler.prefillThreads);
 }
 
 DsePoint
 Herald::evaluateImpl(const workload::Workload &wl,
                      const accel::Accelerator &acc,
+                     const sched::ReconfigOptions &reconfig,
                      std::size_t prefill_threads) const
 {
     // One LayerCostTable per candidate: built once (unique layers x
     // sub-accs), reused across every scheduled layer of the run.
     sched::SchedulerOptions sched_opts = opts.scheduler;
+    sched_opts.reconfig = reconfig;
     sched_opts.prefillThreads = prefill_threads;
     sched::HeraldScheduler scheduler(costModel, sched_opts);
     sched::Schedule schedule = scheduler.schedule(wl, acc);
-    DsePoint point{acc, schedule.finalize(wl, acc,
-                                          costModel.energyModel(),
-                                          opts.chargeIdleEnergy)};
+    DsePoint point{acc,
+                   schedule.finalize(wl, acc,
+                                     costModel.energyModel(),
+                                     opts.chargeIdleEnergy),
+                   reconfig};
     return point;
 }
 
@@ -169,17 +174,30 @@ Herald::explore(const workload::Workload &wl,
     if (n_threads > 1)
         pool.emplace(n_threads - 1);
 
+    // The repartitioning-policy axis: every partition candidate is
+    // scheduled once per entry, and the serial reduction below picks
+    // across the full partition x reconfig cross product. An empty
+    // axis degenerates to one evaluation per partition with the
+    // configured scheduler.reconfig — exactly today's sweep.
+    const std::vector<sched::ReconfigOptions> recfgs =
+        opts.reconfigCandidates.empty()
+            ? std::vector<sched::ReconfigOptions>{
+                  opts.scheduler.reconfig}
+            : opts.reconfigCandidates;
+    const std::size_t n_recfg = recfgs.size();
+
     DseResult result;
     double best = std::numeric_limits<double>::infinity();
 
     // Evaluate one batch of candidates. Workers fill one slot per
-    // candidate index; the best-point reduction below runs serially
-    // in candidate order, so points, their order and bestIdx match
-    // the serial sweep exactly (same "<" tie-breaking).
+    // (candidate, reconfig) index; the best-point reduction below
+    // runs serially in that order, so points, their order and
+    // bestIdx match the serial sweep exactly (same "<"
+    // tie-breaking).
     auto evaluate_candidates =
         [&](const std::vector<PartitionCandidate> &candidates) {
             std::vector<std::optional<DsePoint>> slots(
-                candidates.size());
+                candidates.size() * n_recfg);
             // When candidates fan out across the sweep pool, each
             // one builds its LayerCostTable serially — nesting a
             // prefill pool would only oversubscribe the machine. On
@@ -187,31 +205,32 @@ Herald::explore(const workload::Workload &wl,
             // e.g. a degenerate Binary refinement batch) the prefill
             // gets the full thread budget instead; either way the
             // results are bit-identical.
-            const bool sweep_parallel =
-                pool && candidates.size() > 1;
+            const bool sweep_parallel = pool && slots.size() > 1;
             const std::size_t prefill_threads =
                 sweep_parallel ? 1 : n_threads;
             auto eval_one = [&](std::size_t i) {
+                const PartitionCandidate &cand =
+                    candidates[i / n_recfg];
                 accel::Accelerator acc = accel::Accelerator::makeHda(
-                    chip, styles, candidates[i].peSplit,
-                    candidates[i].bwSplit);
-                slots[i] = evaluateImpl(wl, acc, prefill_threads);
+                    chip, styles, cand.peSplit, cand.bwSplit);
+                slots[i] = evaluateImpl(wl, acc, recfgs[i % n_recfg],
+                                        prefill_threads);
             };
             if (sweep_parallel) {
-                pool->parallelFor(0, candidates.size(), eval_one);
+                pool->parallelFor(0, slots.size(), eval_one);
             } else {
-                for (std::size_t i = 0; i < candidates.size(); ++i)
+                for (std::size_t i = 0; i < slots.size(); ++i)
                     eval_one(i);
             }
 
             std::optional<PartitionCandidate> best_cand;
-            for (std::size_t i = 0; i < candidates.size(); ++i) {
+            for (std::size_t i = 0; i < slots.size(); ++i) {
                 DsePoint &point = *slots[i];
                 double value = objectiveValue(point.summary);
                 if (value < best) {
                     best = value;
                     result.bestIdx = result.points.size();
-                    best_cand = candidates[i];
+                    best_cand = candidates[i / n_recfg];
                 }
                 result.points.push_back(std::move(point));
             }

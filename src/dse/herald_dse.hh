@@ -28,6 +28,12 @@ struct DsePoint
 {
     accel::Accelerator accelerator;
     sched::ScheduleSummary summary;
+    /**
+     * The elastic-repartitioning policy this point was scheduled
+     * with (HeraldOptions::reconfigCandidates axis; Reconfig::Off
+     * unless the sweep enabled one).
+     */
+    sched::ReconfigOptions reconfig{};
 
     /** Latency/energy view for Pareto plots. */
     util::DesignPoint
@@ -81,6 +87,17 @@ struct HeraldOptions
     PartitionSpaceOptions partition{};
     sched::SchedulerOptions scheduler{};
     Objective objective = Objective::Edp;
+    /**
+     * Elastic-repartitioning policy axis: every partition candidate
+     * is scheduled once per entry (threshold / migration quantum /
+     * penalty-sensitivity grid — see sched::ReconfigOptions) and the
+     * objective picks across the full cross product, so static
+     * splits compete directly against runtime migration. Most useful
+     * with Objective::SlaViolations on deadline workloads. Empty
+     * (the default) keeps today's behavior: one evaluation per
+     * partition with scheduler.reconfig as-is.
+     */
+    std::vector<sched::ReconfigOptions> reconfigCandidates{};
     /** Charge idle static energy at schedule level. */
     bool chargeIdleEnergy = true;
     /**
@@ -138,6 +155,7 @@ class Herald
      */
     DsePoint evaluateImpl(const workload::Workload &wl,
                           const accel::Accelerator &acc,
+                          const sched::ReconfigOptions &reconfig,
                           std::size_t prefill_threads) const;
 };
 

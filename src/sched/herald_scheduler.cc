@@ -5,6 +5,7 @@
 #include <limits>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -80,6 +81,7 @@ SchedulerOptions::validate() const
         util::fatal("context-change penalty must be finite and >= 0, "
                     "got ",
                     contextChangeCycles);
+    reconfig.validate();
 }
 
 HeraldScheduler::HeraldScheduler(cost::CostModel &model,
@@ -150,6 +152,29 @@ HeraldScheduler::schedule(const workload::Workload &wl,
                     " sub-accelerators, accelerator has ", n_acc);
     }
 
+    // --- Elastic repartitioning state (sched/reconfig.hh) ---
+    // Every reconfig-aware branch below is gated on `reconfig`, and
+    // `active` stays pointing at the caller's pristine table until
+    // the first migration, so Reconfig::Off takes exactly the
+    // historical code path and schedules stay bit-identical to the
+    // frozen-partition scheduler. After a migration `active` points
+    // at a private copy with the donor/receiver columns re-prefilled
+    // against the new epoch.
+    const bool reconfig = opts.reconfig.enabled();
+    const LayerCostTable *active = &table;
+    std::unique_ptr<ReconfigPolicy> reconfig_policy;
+    std::unique_ptr<LayerCostTable> epoch_table;
+    std::optional<accel::Accelerator> epoch_acc;
+    std::vector<std::uint64_t> pe_split;
+    std::uint64_t next_epoch_id = 0;
+    if (reconfig) {
+        reconfig_policy = makeReconfigPolicy(opts.reconfig);
+        pe_split.reserve(n_acc);
+        for (const accel::SubAccelerator &sub : acc.subAccs())
+            pe_split.push_back(sub.numPes);
+        next_epoch_id = acc.partitionEpochId() + 1;
+    }
+
     // Degraded-capacity view for the drop-policy feasibility proofs:
     // the pristine table's optimistic remaining work assumes the
     // best sub-accelerator is alive. Columns dead *from cycle 0* are
@@ -180,7 +205,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     }
     auto rem_cycles = [&](std::size_t u, std::size_t layer) {
         return degraded ? degraded->remainingCycles(u, layer)
-                        : table.remainingCycles(u, layer);
+                        : active->remainingCycles(u, layer);
     };
 
     // Over-subscription admission control: a frame whose deadline
@@ -525,7 +550,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
     };
     auto plan_layer = [&](std::size_t inst) -> Plan {
         const std::size_t row = row_base[inst] + next_layer[inst];
-        const std::size_t *order = table.order(row);
+        const std::size_t *order = active->order(row);
 
         if (faulty) {
             // Degraded-mode candidate selection: only
@@ -555,18 +580,19 @@ HeraldScheduler::schedule(const workload::Workload &wl,
                 return plan;
             }
             if (opts.loadBalance && n_acc > 1) {
-                const double best_metric = table.metric(row, chosen);
+                const double best_metric =
+                    active->metric(row, chosen);
                 for (std::size_t k = 0; k < n_acc; ++k) {
                     std::size_t a = order[k];
                     if (!usable(a))
                         continue;
-                    if (table.metric(row, a) >
+                    if (active->metric(row, a) >
                         best_metric * opts.loadBalanceMaxDegradation)
                         break; // remaining candidates worse still
                     double start =
                         std::max(base_ready, acc_avail[a]);
                     double frontier =
-                        start + table.cost(row, a).cost.cycles;
+                        start + active->cost(row, a).cost.cycles;
                     double max_f = frontier;
                     double min_f = frontier;
                     for (std::size_t b = 0; b < n_acc; ++b) {
@@ -584,7 +610,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
             }
             auto try_acc = [&](std::size_t a) {
                 const accel::StyledLayerCost &sc =
-                    table.cost(row, a);
+                    active->cost(row, a);
                 Plan p;
                 p.acc = a;
                 if (opts.contextChangeCycles > 0.0 &&
@@ -617,17 +643,17 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         // Load-balancing feedback: demote overloading choices.
         std::size_t chosen = order[0];
         if (opts.loadBalance && n_acc > 1) {
-            const double best_metric = table.metric(row, order[0]);
+            const double best_metric = active->metric(row, order[0]);
             for (std::size_t k = 0; k < n_acc; ++k) {
                 std::size_t a = order[k];
-                if (table.metric(row, a) >
+                if (active->metric(row, a) >
                     best_metric * opts.loadBalanceMaxDegradation) {
                     break; // remaining candidates are worse still
                 }
                 double start =
                     std::max(ready_time[inst], acc_avail[a]);
                 double frontier =
-                    start + table.cost(row, a).cost.cycles;
+                    start + active->cost(row, a).cost.cycles;
                 double max_f = frontier;
                 double min_f = frontier;
                 for (std::size_t b = 0; b < n_acc; ++b) {
@@ -647,7 +673,7 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         // Dependence + memory constrained start time.
         Plan plan;
         plan.acc = chosen;
-        const accel::StyledLayerCost &sc = table.cost(row, chosen);
+        const accel::StyledLayerCost &sc = active->cost(row, chosen);
         plan.dur = sc.cost.cycles;
         if (opts.contextChangeCycles > 0.0 &&
             acc_last_instance[chosen] != SIZE_MAX &&
@@ -672,6 +698,86 @@ HeraldScheduler::schedule(const workload::Workload &wl,
         if (inst == SIZE_MAX)
             util::panic("scheduler: no instance with pending layers");
         return inst;
+    };
+
+    // --- Elastic repartitioning hook (sched/reconfig.hh) ---
+    // Evaluated exactly once after every committed layer (the same
+    // cadence as the preemption point), so migrations are separated
+    // by at least one unit of real progress — the total number of
+    // migrations is bounded by the total layer count and the loop
+    // cannot livelock on back-to-back reconfigurations. The decision
+    // reads only committed state (the sub-accelerator frontiers and
+    // the PE split), which keeps offline and online dispatch in
+    // lockstep: both evaluate the hook against the identical
+    // committed-layer sequence.
+    auto maybe_reconfigure = [&]() {
+        const ReconfigDecision d =
+            reconfig_policy->evaluate(acc_avail, pe_split);
+        if (!d.migrate)
+            return;
+        const accel::Accelerator &cur = epoch_acc ? *epoch_acc : acc;
+        const accel::PartitionEpoch epoch =
+            planMigrationEpoch(cur, d, next_epoch_id++);
+        // The migration is a short planned outage on donor and
+        // receiver: both drain to their committed frontiers, then
+        // rewire for the modeled penalty.
+        const double window_start =
+            std::max(acc_avail[d.donor], acc_avail[d.receiver]);
+        const double window_end =
+            window_start + opts.reconfig.penaltyCycles(d.movedPes);
+        epoch_acc = cur.withPartition(epoch);
+        pe_split = epoch.peSplit;
+
+        // Swap in the new epoch's costs: only the donor and receiver
+        // columns are re-prefilled; every other column is reused
+        // verbatim from the previous epoch.
+        if (!epoch_table)
+            epoch_table = std::make_unique<LayerCostTable>(table);
+        epoch_table->rebuildColumns(
+            costModel, wl, *epoch_acc, opts.metric, opts.rdaOverheads,
+            {std::min(d.donor, d.receiver),
+             std::max(d.donor, d.receiver)},
+            opts.prefillThreads);
+        active = epoch_table.get();
+
+        // The feasibility proofs (degraded view, doom keys) read
+        // remaining-work bounds off the active table — rebuild them
+        // against the new epoch so drop/doom decisions stay sound.
+        if (degraded) {
+            degraded = std::make_unique<LayerCostTable::DegradedView>(
+                *active);
+            bool any_dead = false;
+            for (char dm : dead_mask)
+                any_dead = any_dead || dm != 0;
+            if (any_dead)
+                degraded->rebuild(dead_mask);
+        }
+        if (doom_drop) {
+            std::set<std::pair<double, std::size_t>> rekeyed;
+            for (const auto &entry : doom_set) {
+                const std::size_t idx = entry.second;
+                doom_key[idx] = instances[idx].deadlineCycle -
+                                rem_cycles(uid[idx], next_layer[idx]);
+                rekeyed.emplace(doom_key[idx], idx);
+            }
+            doom_set.swap(rekeyed);
+        }
+
+        acc_avail[d.donor] = window_end;
+        acc_avail[d.receiver] = window_end;
+        release_frontier = std::max(release_frontier, window_end);
+
+        ReconfigEvent ev;
+        ev.epochId = epoch.epochId;
+        ev.donor = d.donor;
+        ev.receiver = d.receiver;
+        ev.movedPes = d.movedPes;
+        ev.startCycle = window_start;
+        ev.endCycle = window_end;
+        ev.peSplit = epoch.peSplit;
+        schedule.addReconfig(ev);
+        reconfig_policy->onMigration(window_end);
+        release_up_to(release_frontier);
     };
 
     release_up_to(release_frontier);
@@ -755,7 +861,8 @@ HeraldScheduler::schedule(const workload::Workload &wl,
 
         const std::size_t layer_idx = next_layer[inst];
         const std::size_t row = row_base[inst] + layer_idx;
-        const accel::StyledLayerCost &sc = table.cost(row, plan.acc);
+        const accel::StyledLayerCost &sc =
+            active->cost(row, plan.acc);
         // A plan whose duration crosses the next fault onset is
         // committed as a fault-killed partial execution: it occupies
         // the sub-accelerator (and buffer) up to the onset exactly,
@@ -852,6 +959,13 @@ HeraldScheduler::schedule(const workload::Workload &wl,
                 drop_live(doom_set.begin()->second);
             }
         }
+
+        // Elastic repartitioning: one policy evaluation per
+        // committed layer (see maybe_reconfigure above). Skipped
+        // once the workload is exhausted — an outage with nothing
+        // left to run would only stretch the makespan.
+        if (reconfig && remaining > 0)
+            maybe_reconfigure();
     }
 
     if (opts.postProcess)
@@ -942,10 +1056,23 @@ HeraldScheduler::postProcessIdleTime(Schedule &schedule,
                 pinned[i] = 1;
         }
     }
+    // Reconfiguration windows pin like outages: the donor and
+    // receiver are rewiring, so nothing may be hoisted into the
+    // window (the dispatch loop never placed work there either).
+    const std::vector<ReconfigEvent> &reconfigs =
+        schedule.reconfigEvents();
     auto window_ok = [&](const ScheduledLayer &e, double new_start) {
-        return !faulty ||
-               faults.windowUndisturbed(e.accIdx, new_start,
-                                        e.duration());
+        if (faulty && !faults.windowUndisturbed(e.accIdx, new_start,
+                                                e.duration()))
+            return false;
+        for (const ReconfigEvent &w : reconfigs) {
+            if (e.accIdx != w.donor && e.accIdx != w.receiver)
+                continue;
+            if (new_start < w.endCycle - kEps &&
+                new_start + e.duration() > w.startCycle + kEps)
+                return false;
+        }
+        return true;
     };
 
     // Earliest legal start: the predecessor's end, but never before

@@ -36,6 +36,7 @@
 #include "sched/fault_model.hh"
 #include "sched/metric.hh"
 #include "sched/policy.hh"
+#include "sched/reconfig.hh"
 #include "sched/schedule.hh"
 #include "workload/workload.hh"
 
@@ -201,6 +202,20 @@ struct SchedulerOptions
      * bit-identical to the fault-free scheduler.
      */
     FaultTimeline faults{};
+
+    /**
+     * Elastic repartitioning (sched/reconfig.hh). With an enabled
+     * policy the dispatch loop re-evaluates it at every layer
+     * boundary (the preemption-point hook): when the policy plans a
+     * migration, the donor and receiver drain to completion, both
+     * are offline for the modeled drain + rewire window (recorded as
+     * a Schedule::ReconfigEvent), and afterwards a new
+     * accel::PartitionEpoch is in force with only the affected
+     * LayerCostTable columns re-prefilled. Reconfig::Off (the
+     * default) leaves every schedule bit-identical to the
+     * frozen-partition scheduler.
+     */
+    ReconfigOptions reconfig{};
 
     /**
      * Worker threads for the LayerCostTable prefill: 1 forces the

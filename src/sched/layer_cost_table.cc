@@ -157,4 +157,95 @@ LayerCostTable::build(cost::CostModel &model,
     return table;
 }
 
+void
+LayerCostTable::rebuildColumns(cost::CostModel &model,
+                               const workload::Workload &wl,
+                               const accel::Accelerator &acc,
+                               Metric metric,
+                               const accel::RdaOverheads &rda,
+                               const std::vector<std::size_t> &columns,
+                               std::size_t num_threads)
+{
+    if (acc.numSubAccs() != nAcc)
+        util::fatal("layer cost table: rebuildColumns arity mismatch "
+                    "(table built for ", nAcc, " sub-accs, got ",
+                    acc.numSubAccs(), ")");
+    const std::size_t n_models = wl.numUniqueModels();
+    if (n_models != modelOffset.size())
+        util::fatal("layer cost table: rebuildColumns model-set "
+                    "mismatch");
+    const std::size_t rows = nAcc == 0 ? 0 : entries.size() / nAcc;
+    for (std::size_t a : columns) {
+        if (a >= nAcc)
+            util::fatal("layer cost table: rebuildColumns column ", a,
+                        " out of range");
+    }
+    if (rows == 0 || columns.empty())
+        return;
+
+    std::vector<cost::SubAccResources> res(nAcc);
+    for (std::size_t a = 0; a < nAcc; ++a)
+        res[a] = acc.resources(a);
+    std::vector<const dnn::Layer *> layer_of(rows);
+    for (std::size_t u = 0; u < n_models; ++u) {
+        const dnn::Model &m = wl.uniqueModel(u);
+        if (modelOffset[u] + m.numLayers() > rows)
+            util::fatal("layer cost table: rebuildColumns row-count "
+                        "mismatch");
+        for (std::size_t l = 0; l < m.numLayers(); ++l)
+            layer_of[modelOffset[u] + l] = &m.layer(l);
+    }
+
+    // Refill one row: re-evaluate only the affected columns, then
+    // recompute the whole-row derived state (min + sorted order read
+    // every column, affected or not).
+    auto refill_row = [&](std::size_t row) {
+        const dnn::Layer &layer = *layer_of[row];
+        const std::size_t base = row * nAcc;
+        for (std::size_t a : columns) {
+            entries[base + a] = accel::evaluateOnSub(
+                model, acc.subAccs()[a], res[a], layer, rda);
+            metrics[base + a] =
+                metricValue(metric, entries[base + a].cost);
+        }
+        double min_cycles = 0.0;
+        for (std::size_t a = 0; a < nAcc; ++a) {
+            orders[base + a] = a;
+            double cycles = entries[base + a].cost.cycles;
+            if (a == 0 || cycles < min_cycles)
+                min_cycles = cycles;
+        }
+        minCyc[row] = min_cycles;
+        std::sort(orders.begin() + static_cast<std::ptrdiff_t>(base),
+                  orders.begin() +
+                      static_cast<std::ptrdiff_t>(base + nAcc),
+                  [&](std::size_t a, std::size_t b) {
+                      return metrics[base + a] < metrics[base + b];
+                  });
+    };
+
+    std::size_t threads = num_threads == 1
+                              ? 1
+                              : util::resolveThreadCount(num_threads);
+    threads = std::min(threads, rows);
+    if (threads > 1 && rows * columns.size() >= kMinParallelEvals) {
+        util::ThreadPool pool(threads - 1);
+        pool.parallelFor(0, rows, refill_row);
+    } else {
+        for (std::size_t row = 0; row < rows; ++row)
+            refill_row(row);
+    }
+
+    // Re-fold the suffix sums over the updated minima (serial).
+    for (std::size_t u = 0; u < n_models; ++u) {
+        const std::size_t n_layers = wl.uniqueModel(u).numLayers();
+        const std::size_t seg = modelOffset[u] + u;
+        remSuffix[seg + n_layers] = 0.0;
+        for (std::size_t l = n_layers; l-- > 0;) {
+            remSuffix[seg + l] =
+                remSuffix[seg + l + 1] + minCyc[modelOffset[u] + l];
+        }
+    }
+}
+
 } // namespace herald::sched

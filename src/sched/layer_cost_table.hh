@@ -55,6 +55,26 @@ class LayerCostTable
                                 const accel::RdaOverheads &rda,
                                 std::size_t num_threads = 1);
 
+    /**
+     * Re-evaluate only the (layer x sub-acc) costs of the listed
+     * @p columns against @p acc's current resource split, then
+     * recompute every derived quantity that depends on them (metric
+     * values, per-row sub-acc order, optimistic minima, remaining-
+     * work suffix sums). This is the epoch-swap path of elastic
+     * repartitioning: after a PE/buffer migration only the donor and
+     * receiver columns changed, so the other columns' entries are
+     * reused verbatim. Rows are independent pure functions, so the
+     * threaded refill is bit-identical to the serial one. @p acc
+     * must have the same sub-accelerator arity (and @p wl the same
+     * unique-model set) the table was built with — fatal otherwise.
+     */
+    void rebuildColumns(cost::CostModel &model,
+                        const workload::Workload &wl,
+                        const accel::Accelerator &acc, Metric metric,
+                        const accel::RdaOverheads &rda,
+                        const std::vector<std::size_t> &columns,
+                        std::size_t num_threads = 1);
+
     /** Sub-accelerator count the table was built for. */
     std::size_t numSubAccs() const { return nAcc; }
 

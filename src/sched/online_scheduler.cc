@@ -55,6 +55,12 @@ OnlineOptions::validate() const
     if (maintenancePeriod == 0)
         util::fatal("online scheduler: maintenancePeriod must be "
                     ">= 1 commit");
+    if (sched.reconfig.enabled() && !retainSchedule)
+        util::fatal("online scheduler: elastic repartitioning "
+                    "requires retainSchedule — reconfiguration "
+                    "events live on the Schedule and the offline "
+                    "bit-identity contract cannot be checked with "
+                    "history retired");
 }
 
 OnlineScheduler::OnlineScheduler(cost::CostModel &cost_model,
@@ -86,6 +92,7 @@ OnlineScheduler::OnlineScheduler(cost::CostModel &cost_model,
                                   opts.sched.metric,
                                   opts.sched.rdaOverheads,
                                   opts.sched.prefillThreads);
+    activeTable = &table;
     uidOf.resize(nModels);
     rowBaseOf.resize(nModels);
     layersOf.resize(nModels);
@@ -93,6 +100,17 @@ OnlineScheduler::OnlineScheduler(cost::CostModel &cost_model,
         uidOf[m] = templateWl.uniqueIdOfSpec(m);
         rowBaseOf[m] = table.rowOf(uidOf[m], 0);
         layersOf[m] = models[m].numLayers();
+    }
+
+    reconfig = opts.sched.reconfig.enabled();
+    if (reconfig) {
+        reconfigCostModel = &cost_model;
+        baseAcc = std::make_unique<accel::Accelerator>(acc);
+        reconfigPolicy = makeReconfigPolicy(opts.sched.reconfig);
+        peSplit.reserve(nAcc);
+        for (const accel::SubAccelerator &sub : acc.subAccs())
+            peSplit.push_back(sub.numPes);
+        nextEpochId = acc.partitionEpochId() + 1;
     }
 
     breadth = opts.sched.ordering == Ordering::BreadthFirst;
@@ -228,7 +246,7 @@ OnlineScheduler::remCyclesRun(std::size_t uid,
                               std::size_t layer) const
 {
     return runView ? runView->remainingCycles(uid, layer)
-                   : table.remainingCycles(uid, layer);
+                   : activeTable->remainingCycles(uid, layer);
 }
 
 double
@@ -439,7 +457,7 @@ OnlineScheduler::planLayer(std::size_t inst) const
 {
     const Frame &frame = frameAt(inst);
     const std::size_t row = frame.rowBase + frame.nextLayer;
-    const std::size_t *order = table.order(row);
+    const std::size_t *order = activeTable->order(row);
     const FaultTimeline &faults = opts.sched.faults;
 
     if (faulty) {
@@ -461,17 +479,18 @@ OnlineScheduler::planLayer(std::size_t inst) const
             return plan;
         }
         if (opts.sched.loadBalance && nAcc > 1) {
-            const double best_metric = table.metric(row, chosen);
+            const double best_metric =
+                activeTable->metric(row, chosen);
             for (std::size_t k = 0; k < nAcc; ++k) {
                 std::size_t a = order[k];
                 if (!usable(a))
                     continue;
-                if (table.metric(row, a) >
+                if (activeTable->metric(row, a) >
                     best_metric * opts.sched.loadBalanceMaxDegradation)
                     break; // remaining candidates worse still
                 double start = std::max(base_ready, accAvail[a]);
                 double frontier =
-                    start + table.cost(row, a).cost.cycles;
+                    start + activeTable->cost(row, a).cost.cycles;
                 double max_f = frontier;
                 double min_f = frontier;
                 for (std::size_t b = 0; b < nAcc; ++b) {
@@ -488,7 +507,8 @@ OnlineScheduler::planLayer(std::size_t inst) const
             }
         }
         auto try_acc = [&](std::size_t a) {
-            const accel::StyledLayerCost &sc = table.cost(row, a);
+            const accel::StyledLayerCost &sc =
+                activeTable->cost(row, a);
             Plan p;
             p.acc = a;
             if (opts.sched.contextChangeCycles > 0.0 &&
@@ -519,15 +539,16 @@ OnlineScheduler::planLayer(std::size_t inst) const
     // Load-balancing feedback: demote overloading choices.
     std::size_t chosen = order[0];
     if (opts.sched.loadBalance && nAcc > 1) {
-        const double best_metric = table.metric(row, order[0]);
+        const double best_metric = activeTable->metric(row, order[0]);
         for (std::size_t k = 0; k < nAcc; ++k) {
             std::size_t a = order[k];
-            if (table.metric(row, a) >
+            if (activeTable->metric(row, a) >
                 best_metric * opts.sched.loadBalanceMaxDegradation) {
                 break; // remaining candidates are worse still
             }
             double start = std::max(frame.readyTime, accAvail[a]);
-            double frontier = start + table.cost(row, a).cost.cycles;
+            double frontier =
+                start + activeTable->cost(row, a).cost.cycles;
             double max_f = frontier;
             double min_f = frontier;
             for (std::size_t b = 0; b < nAcc; ++b) {
@@ -546,7 +567,7 @@ OnlineScheduler::planLayer(std::size_t inst) const
 
     Plan plan;
     plan.acc = chosen;
-    const accel::StyledLayerCost &sc = table.cost(row, chosen);
+    const accel::StyledLayerCost &sc = activeTable->cost(row, chosen);
     plan.dur = sc.cost.cycles;
     if (opts.sched.contextChangeCycles > 0.0 &&
         accLastInstance[chosen] != SIZE_MAX &&
@@ -712,7 +733,8 @@ OnlineScheduler::commit(std::size_t inst, const Plan &plan)
     Frame &f = frameAt(inst);
     const std::size_t layer_idx = f.nextLayer;
     const std::size_t row = f.rowBase + layer_idx;
-    const accel::StyledLayerCost &sc = table.cost(row, plan.acc);
+    const accel::StyledLayerCost &sc =
+        activeTable->cost(row, plan.acc);
     const bool killed =
         faulty && plan.killAt < plan.start + plan.dur - kEps;
     memory.add(plan.start,
@@ -787,8 +809,90 @@ OnlineScheduler::commit(std::size_t inst, const Plan &plan)
         }
     }
 
+    // Elastic repartitioning rides the committed-layer sequence (see
+    // maybeReconfigure and the reconfigPending doc): the decision is
+    // transitively watermark-gated because this commit was, and it
+    // reads only committed state — later submissions can never
+    // retroactively change it.
+    if (reconfig)
+        reconfigPending = true;
+
     if (++commitsSinceMaintenance >= opts.maintenancePeriod)
         maintenance();
+}
+
+// Port of the offline maybe_reconfigure lambda (herald_scheduler.cc)
+// — evaluated at most once per committed layer, so migrations are
+// separated by at least one unit of real progress and the stream
+// cannot livelock on back-to-back reconfigurations.
+void
+OnlineScheduler::maybeReconfigure()
+{
+    const ReconfigDecision d =
+        reconfigPolicy->evaluate(accAvail, peSplit);
+    if (!d.migrate)
+        return;
+    const accel::Accelerator &cur = epochAcc ? *epochAcc : *baseAcc;
+    const accel::PartitionEpoch epoch =
+        planMigrationEpoch(cur, d, nextEpochId++);
+    const double window_start =
+        std::max(accAvail[d.donor], accAvail[d.receiver]);
+    const double window_end =
+        window_start + opts.sched.reconfig.penaltyCycles(d.movedPes);
+    epochAcc =
+        std::make_unique<accel::Accelerator>(cur.withPartition(epoch));
+    peSplit = epoch.peSplit;
+
+    if (!epochTable)
+        epochTable = std::make_unique<LayerCostTable>(table);
+    epochTable->rebuildColumns(
+        *reconfigCostModel, templateWl, *epochAcc, opts.sched.metric,
+        opts.sched.rdaOverheads,
+        {std::min(d.donor, d.receiver),
+         std::max(d.donor, d.receiver)},
+        opts.sched.prefillThreads);
+    activeTable = epochTable.get();
+
+    // The run-time feasibility proofs read remaining-work bounds off
+    // the active table — rebuild them against the new epoch. The
+    // admission view stays frozen on the pristine table, exactly
+    // like the offline pre-pass.
+    if (runView) {
+        runView = std::make_unique<LayerCostTable::DegradedView>(
+            *activeTable);
+        bool any_dead = false;
+        for (char dm : deadMask)
+            any_dead = any_dead || dm != 0;
+        if (any_dead)
+            runView->rebuild(deadMask);
+    }
+    if (doomDrop) {
+        std::set<std::pair<double, std::size_t>> rekeyed;
+        for (const auto &entry : doomSet) {
+            const std::size_t idx = entry.second;
+            Frame &f = frameAt(idx);
+            f.doomKey =
+                f.deadline - remCyclesRun(f.uid, f.nextLayer);
+            rekeyed.emplace(f.doomKey, idx);
+        }
+        doomSet.swap(rekeyed);
+    }
+
+    accAvail[d.donor] = window_end;
+    accAvail[d.receiver] = window_end;
+    releaseFrontier = std::max(releaseFrontier, window_end);
+
+    ReconfigEvent ev;
+    ev.epochId = epoch.epochId;
+    ev.donor = d.donor;
+    ev.receiver = d.receiver;
+    ev.movedPes = d.movedPes;
+    ev.startCycle = window_start;
+    ev.endCycle = window_end;
+    ev.peSplit = epoch.peSplit;
+    sched.addReconfig(ev);
+    reconfigPolicy->onMigration(window_end);
+    releaseUpTo(releaseFrontier);
 }
 
 bool
@@ -797,6 +901,13 @@ OnlineScheduler::tryStep()
     for (;;) {
         if (liveRemaining == 0)
             return false;
+        // Deferred reconfig evaluation (see reconfigPending): runs
+        // before the next selection, on exactly the committed state
+        // the offline hook saw right after the matching commit.
+        if (reconfigPending) {
+            reconfigPending = false;
+            maybeReconfigure();
+        }
         if (selInst == SIZE_MAX) {
             // Release-frontier gate: an unsubmitted frame arriving
             // at or before the frontier would belong in the ready

@@ -103,7 +103,10 @@ struct OnlineOptions
      * Keep the full Schedule (and per-frame drop marks) instead of
      * retiring history — memory grows with the stream, but schedule()
      * / validate() / computeSla() work. For equivalence tests and
-     * short diagnostic runs, not for serving.
+     * short diagnostic runs, not for serving. Required when
+     * sched.reconfig is enabled: reconfiguration events are recorded
+     * on the Schedule and the bit-identity contract against the
+     * offline scheduler is meaningless with history retired.
      */
     bool retainSchedule = false;
 
@@ -184,7 +187,8 @@ class OnlineScheduler
      * LayerCostTable once (all streams share it). @p models is the
      * closed set submit() may reference by index — typically
      * ArrivalSource::models(). @p acc is only read during
-     * construction.
+     * construction (a copy is kept when elastic repartitioning is
+     * enabled, since migrations derive new epochs from it).
      */
     OnlineScheduler(cost::CostModel &cost_model,
                     const std::vector<dnn::Model> &models,
@@ -267,6 +271,15 @@ class OnlineScheduler
     OnlineOptions opts;
     workload::Workload templateWl; //!< one instance per model
     LayerCostTable table;
+    /**
+     * The table the dispatch path reads. Points at `table` until the
+     * first migration, then at `epochTable` (a copy with only the
+     * affected columns re-prefilled) — so Reconfig::Off takes exactly
+     * the historical reads. LstPolicy keys and the admission proof
+     * deliberately stay on the pristine `table` (see
+     * herald_scheduler.cc).
+     */
+    const LayerCostTable *activeTable = nullptr;
     std::size_t nAcc = 0;
     std::size_t nModels = 0;
     std::vector<std::size_t> uidOf;     //!< per model
@@ -291,6 +304,30 @@ class OnlineScheduler
     std::vector<char> deadMask;
     std::vector<std::pair<double, std::size_t>> permFail; //!< sorted
     std::size_t nextFail = 0;
+
+    // --- Elastic repartitioning state (sched/reconfig.hh) ---
+    // The cost model and base accelerator are only retained when the
+    // policy is enabled; Reconfig::Off leaves all of this inert and
+    // the engine bit-identical to the frozen-partition scheduler.
+    bool reconfig = false;
+    cost::CostModel *reconfigCostModel = nullptr;
+    std::unique_ptr<accel::Accelerator> baseAcc;
+    std::unique_ptr<accel::Accelerator> epochAcc;
+    std::unique_ptr<LayerCostTable> epochTable;
+    std::unique_ptr<ReconfigPolicy> reconfigPolicy;
+    std::vector<std::uint64_t> peSplit;
+    std::uint64_t nextEpochId = 0;
+    /**
+     * Set by commit(), consumed by the next tryStep(): the offline
+     * loop evaluates the reconfig hook right after every commit, but
+     * gated on work remaining in the *whole* workload — which the
+     * online engine cannot know mid-stream. Deferring the evaluation
+     * to the next step (which only runs with live work) replays the
+     * identical evaluation sequence: nothing between an offline
+     * commit and the next selection touches the state the policy
+     * reads (committed frontiers and the PE split).
+     */
+    bool reconfigPending = false;
 
     // --- Sliding frame window ---
     std::deque<Frame> win;
@@ -359,6 +396,7 @@ class OnlineScheduler
     std::size_t selectFutureIdx(bool &stall) const;
     bool urgentExists(double end, double threshold) const;
     void commit(std::size_t inst, const Plan &plan);
+    void maybeReconfigure();
     bool tryStep();
     void pump();
 

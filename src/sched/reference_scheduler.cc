@@ -256,6 +256,9 @@ referenceSchedule(cost::CostModel &model,
     if (!opts.faults.empty())
         util::panic("referenceSchedule: fault timelines are not "
                     "implemented by the reference oracle");
+    if (opts.reconfig.enabled())
+        util::panic("referenceSchedule: elastic repartitioning is "
+                    "not implemented by the reference oracle");
     const bool deadline_aware = opts.effectivePolicy() == Policy::Edf;
 
     const std::size_t n_inst = wl.numInstances();

@@ -30,12 +30,27 @@ operator==(const ScheduledLayer &a, const ScheduledLayer &b)
 }
 
 bool
+operator==(const ReconfigEvent &a, const ReconfigEvent &b)
+{
+    return a.epochId == b.epochId && a.donor == b.donor &&
+           a.receiver == b.receiver && a.movedPes == b.movedPes &&
+           a.startCycle == b.startCycle && a.endCycle == b.endCycle &&
+           a.peSplit == b.peSplit;
+}
+
+bool
 Schedule::identicalTo(const Schedule &other) const
 {
     if (numAccs != other.numAccs || list.size() != other.list.size())
         return false;
     if (droppedList != other.droppedList)
         return false;
+    if (reconfigList.size() != other.reconfigList.size())
+        return false;
+    for (std::size_t i = 0; i < reconfigList.size(); ++i) {
+        if (reconfigList[i] != other.reconfigList[i])
+            return false;
+    }
     for (std::size_t i = 0; i < list.size(); ++i) {
         if (list[i] != other.list[i])
             return false;
@@ -72,6 +87,23 @@ Schedule::isDropped(std::size_t instance_idx) const
 {
     return std::binary_search(droppedList.begin(), droppedList.end(),
                               instance_idx);
+}
+
+void
+Schedule::addReconfig(ReconfigEvent event)
+{
+    if (event.donor >= numAccs || event.receiver >= numAccs ||
+        event.donor == event.receiver)
+        util::panic("schedule: reconfig donor/receiver out of range");
+    if (event.endCycle < event.startCycle)
+        util::panic("schedule: negative-duration reconfig window");
+    if (event.peSplit.size() != numAccs)
+        util::panic("schedule: reconfig PE split arity mismatch");
+    if (!reconfigList.empty() &&
+        event.startCycle < reconfigList.back().startCycle)
+        util::panic("schedule: reconfig events must arrive in window "
+                    "order");
+    reconfigList.push_back(std::move(event));
 }
 
 std::size_t
@@ -419,6 +451,30 @@ Schedule::validate(const workload::Workload &wl,
         }
     }
 
+    // Reconfiguration windows are planned outages on the donor and
+    // receiver: no entry on either party may overlap one (a layer in
+    // flight at the window start would have been drained or killed).
+    for (const ReconfigEvent &w : reconfigList) {
+        if (w.donor >= numAccs || w.receiver >= numAccs) {
+            err << "reconfig event references sub-accelerator out of "
+                << "range";
+            return err.str();
+        }
+        for (const ScheduledLayer &e : list) {
+            if (e.accIdx != w.donor && e.accIdx != w.receiver)
+                continue;
+            if (e.startCycle < w.endCycle - kEps &&
+                e.endCycle > w.startCycle + kEps) {
+                err << "instance " << e.instanceIdx << " layer "
+                    << e.layerIdx << " [" << e.startCycle << ", "
+                    << e.endCycle << ") overlaps reconfig window ["
+                    << w.startCycle << ", " << w.endCycle
+                    << ") on sub-accelerator " << e.accIdx;
+                return err.str();
+            }
+        }
+    }
+
     // Arrival: no layer starts before its instance arrives.
     for (const ScheduledLayer &e : list) {
         double arrival = wl.instances()[e.instanceIdx].arrivalCycle;
@@ -611,6 +667,27 @@ Schedule::renderTimeline(const workload::Workload &wl,
         return digits[instance % 36];
     };
 
+    // Per-epoch capacity header: epoch 0's split is recovered from
+    // the first event (the donor had its moved PEs back, the
+    // receiver had not gained them yet).
+    if (!reconfigList.empty()) {
+        std::vector<std::uint64_t> first = reconfigList.front().peSplit;
+        first[reconfigList.front().donor] +=
+            reconfigList.front().movedPes;
+        first[reconfigList.front().receiver] -=
+            reconfigList.front().movedPes;
+        auto print_epoch = [&](std::uint64_t id, double from,
+                               const std::vector<std::uint64_t> &pes) {
+            oss << "epoch " << id << " @ " << from << ": ";
+            for (std::size_t a = 0; a < pes.size(); ++a)
+                oss << (a == 0 ? "" : "/") << pes[a];
+            oss << " pe\n";
+        };
+        print_epoch(reconfigList.front().epochId - 1, 0.0, first);
+        for (const ReconfigEvent &w : reconfigList)
+            print_epoch(w.epochId, w.endCycle, w.peSplit);
+    }
+
     for (std::size_t a = 0; a < numAccs; ++a) {
         std::string row(static_cast<std::size_t>(width), '.');
         if (faults) {
@@ -621,6 +698,18 @@ Schedule::renderTimeline(const workload::Workload &wl,
                            static_cast<double>(width) * makespan;
                 if (!faults->availableAt(a, t))
                     row[static_cast<std::size_t>(c)] = 'x';
+            }
+        }
+        // Reconfiguration windows on this row ('R', distinct from
+        // fault 'x'); busy entries never overlap them (validate()).
+        for (const ReconfigEvent &w : reconfigList) {
+            if (w.donor != a && w.receiver != a)
+                continue;
+            for (int c = 0; c < width; ++c) {
+                double t = (static_cast<double>(c) + 0.5) /
+                           static_cast<double>(width) * makespan;
+                if (t >= w.startCycle && t < w.endCycle)
+                    row[static_cast<std::size_t>(c)] = 'R';
             }
         }
         for (const ScheduledLayer &e : list) {
@@ -643,6 +732,8 @@ Schedule::renderTimeline(const workload::Workload &wl,
     oss << "       (cells: workload instance index; '.', idle";
     if (faults)
         oss << "; 'x', unavailable";
+    if (!reconfigList.empty())
+        oss << "; 'R', reconfiguration";
     oss << ")";
     if (wl.numInstances() > 0)
         oss << "\n";

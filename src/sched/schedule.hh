@@ -71,6 +71,33 @@ operator!=(const ScheduledLayer &a, const ScheduledLayer &b)
     return !(a == b);
 }
 
+/**
+ * One committed runtime repartitioning (sched/reconfig.hh): the
+ * donor and receiver sub-accelerators were both drained and offline
+ * for [startCycle, endCycle) — a planned outage — after which the
+ * partition epoch @c epochId (with per-sub-acc PE split @c peSplit)
+ * is in force. validate() rejects entries on either party that
+ * overlap the window.
+ */
+struct ReconfigEvent
+{
+    std::uint64_t epochId = 0;
+    std::size_t donor = 0;
+    std::size_t receiver = 0;
+    std::uint64_t movedPes = 0;
+    double startCycle = 0.0;
+    double endCycle = 0.0;
+    std::vector<std::uint64_t> peSplit; //!< post-migration allocation
+};
+
+/** Exact (bit-level on the doubles) equality. */
+bool operator==(const ReconfigEvent &a, const ReconfigEvent &b);
+inline bool
+operator!=(const ReconfigEvent &a, const ReconfigEvent &b)
+{
+    return !(a == b);
+}
+
 /** Per-instance (frame) service-level outcome. */
 struct InstanceSla
 {
@@ -167,6 +194,19 @@ class Schedule
 
     /** Whether @p instance_idx was dropped. */
     bool isDropped(std::size_t instance_idx) const;
+
+    /**
+     * Record a committed runtime repartitioning. Events arrive in
+     * nondecreasing window order (the schedulers commit them as the
+     * dispatch frontier advances).
+     */
+    void addReconfig(ReconfigEvent event);
+
+    /** Committed repartitionings, in commit order. */
+    const std::vector<ReconfigEvent> &reconfigEvents() const
+    {
+        return reconfigList;
+    }
 
     /**
      * Entry-by-entry exact equality against @p other (same order,
@@ -279,6 +319,7 @@ class Schedule
     std::size_t numAccs;
     std::vector<ScheduledLayer> list;
     std::vector<std::size_t> droppedList; //!< sorted ascending
+    std::vector<ReconfigEvent> reconfigList; //!< commit order
 
     // Aggregates of retired history (retireEntriesBefore).
     std::size_t retiredCount = 0;

@@ -409,6 +409,33 @@ faultedFactory(int frames60, double clock_ghz)
 }
 
 Workload
+shiftingLoadFactory(int frames, double clock_ghz)
+{
+    if (frames < 8)
+        util::fatal("shiftingLoadFactory: frames must be >= 8");
+    Workload wl("shifting-load factory");
+    const double scale = 1.0 / clock_ghz;
+    // Phase 1 — tenant A: Br-Q Handpose (NVDLA-affine, ~4.1e6
+    // optimistic cycles on a 768-PE NVDLA side, ~6.0e6 at 512) at a
+    // rate only a large NVDLA share sustains; the two-period
+    // deadline forgives transient backlog but not a steady one.
+    const double p1 = 4.5e6 * scale;
+    wl.addPeriodicModel(dnn::brqHandposeNet(), frames, p1, 2.0 * p1);
+    // Phase 2 — tenant B: UNet (Shi-affine, ~2.6e8 optimistic cycles
+    // on a 768-PE Shi side, ~3.8e8 at 512) arriving after tenant A's
+    // stream has drained. The deadline sits between the large-share
+    // and even-split runtimes, so only a Shi-heavy second half meets
+    // it.
+    const double p2 = 3.0e8 * scale;
+    const double phase2 =
+        static_cast<double>(frames) * p1 + 1.0e7 * scale;
+    wl.addPeriodicModel(dnn::uNet(), std::max(2, frames / 8), p2,
+                        /*deadline=*/3.2e8 * scale,
+                        /*phase=*/phase2);
+    return wl;
+}
+
+Workload
 interactiveOverloaded(int frames60, double overload,
                       double clock_ghz)
 {

@@ -233,5 +233,21 @@ Workload interactiveOverloaded(int frames60 = 8,
                                double overload = 4.0,
                                double clock_ghz = 1.0);
 
+/**
+ * Shifting-load factory scenario for elastic repartitioning
+ * (sched::ReconfigOptions): two tenants with opposite dataflow
+ * affinity on an NVDLA+Shi-diannao HDA, each heavy in a different
+ * half of the run. Tenant A (Br-Q Handpose, NVDLA-affine) streams a
+ * dense deadline-bearing first phase; tenant B (UNet, the one
+ * Shi-affine model in the zoo) lands its heavy deadline-bearing
+ * frames in the second phase. No static PE split serves both phases
+ * — a big NVDLA side meets phase 1 and starves phase 2, and vice
+ * versa — which is exactly the gap runtime PE migration closes.
+ * @p frames scales tenant A's stream (tenant B gets ~frames/8
+ * frames); calibrated against the edge-class chip at @p clock_ghz.
+ */
+Workload shiftingLoadFactory(int frames = 16,
+                             double clock_ghz = 1.0);
+
 } // namespace herald::workload
 

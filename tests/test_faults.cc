@@ -619,4 +619,101 @@ TEST_F(FaultTest, ChaosSweepIsValidConsistentAndDeterministic)
     }
 }
 
+// ---------------------------------------------------------------
+// faultObliviousSla boundary semantics
+// ---------------------------------------------------------------
+
+TEST_F(FaultTest, ObliviousSlaFrameFinishingExactlyAtOutageStart)
+{
+    // One single-layer frame per instance, hand-placed entries.
+    dnn::Model m("One");
+    m.addLayer(dnn::makeFullyConnected("f", 16, 16));
+    Workload wl("boundary");
+    wl.addModel(m, 1, 0.0, 100.0);   // deadline at cycle 100
+    wl.addModel(m, 1, 0.0, 200.0);   // deadline at cycle 200
+
+    FaultTimeline tl(1);
+    tl.addOutage(0, 100.0, 50.0); // [100, 150)
+
+    Schedule s(1);
+    sched::ScheduledLayer a;
+    a.instanceIdx = 0;
+    a.endCycle = 100.0; // ends exactly at the window start
+    s.add(a);
+    sched::ScheduledLayer b;
+    b.instanceIdx = 1;
+    b.startCycle = 100.0;
+    b.endCycle = 101.0; // starts exactly at the window start
+    s.add(b);
+
+    const SlaStats sla = sched::faultObliviousSla(s, wl, tl);
+    // Abutting the window from the left is not an overlap: the
+    // frame completes on time and is not killed.
+    EXPECT_EQ(sla.faultKilledLayers, 1u);
+    EXPECT_FALSE(sla.perInstance[0].missed);
+    EXPECT_TRUE(sla.perInstance[0].scheduled);
+    // Starting *inside* the window kills the frame outright.
+    EXPECT_FALSE(sla.perInstance[1].scheduled);
+    EXPECT_TRUE(sla.perInstance[1].missed);
+    EXPECT_EQ(sla.deadlineMisses, 1u);
+}
+
+TEST_F(FaultTest, ObliviousSlaThrottleAbuttingOutageBoundary)
+{
+    dnn::Model m("One");
+    m.addLayer(dnn::makeFullyConnected("f", 16, 16));
+    Workload wl("abut");
+    wl.addModel(m, 1, 0.0, 160.0); // loose: survives the stretch
+    wl.addModel(m, 1, 0.0, 140.0); // tight: the stretch misses it
+
+    // Throttle [50, 100) x2 abutting an outage [100, 200): the
+    // boundary cycle belongs to the outage, not the throttle.
+    FaultTimeline tl(1);
+    tl.addThrottle(0, 50.0, 100.0, 2.0);
+    tl.addOutage(0, 100.0, 100.0);
+
+    Schedule s(1);
+    for (std::size_t inst : {std::size_t{0}, std::size_t{1}}) {
+        sched::ScheduledLayer e;
+        e.instanceIdx = inst;
+        e.endCycle = 100.0;
+        s.add(e);
+    }
+
+    const SlaStats sla = sched::faultObliviousSla(s, wl, tl);
+    // Neither layer touches the outage (it begins exactly at their
+    // end), so neither is killed; both pay the 50-cycle throttle
+    // stretch (overlap 50 x (factor - 1)) and complete at 150.
+    EXPECT_EQ(sla.faultKilledLayers, 0u);
+    EXPECT_DOUBLE_EQ(sla.perInstance[0].completionCycle, 150.0);
+    EXPECT_DOUBLE_EQ(sla.perInstance[1].completionCycle, 150.0);
+    EXPECT_FALSE(sla.perInstance[0].missed);
+    EXPECT_TRUE(sla.perInstance[1].missed);
+    EXPECT_EQ(sla.deadlineMisses, 1u);
+}
+
+TEST_F(FaultTest, ObliviousSlaThrottleStartingExactlyAtLayerEnd)
+{
+    dnn::Model m("One");
+    m.addLayer(dnn::makeFullyConnected("f", 16, 16));
+    Workload wl("edge");
+    wl.addModel(m, 1, 0.0, 100.0);
+
+    // Throttle starting exactly where the layer ends: zero overlap,
+    // zero stretch — the frame completes exactly at its deadline.
+    FaultTimeline tl(1);
+    tl.addThrottle(0, 100.0, 300.0, 4.0);
+
+    Schedule s(1);
+    sched::ScheduledLayer e;
+    e.instanceIdx = 0;
+    e.endCycle = 100.0;
+    s.add(e);
+
+    const SlaStats sla = sched::faultObliviousSla(s, wl, tl);
+    EXPECT_DOUBLE_EQ(sla.perInstance[0].completionCycle, 100.0);
+    EXPECT_FALSE(sla.perInstance[0].missed);
+    EXPECT_EQ(sla.deadlineMisses, 0u);
+}
+
 } // namespace

@@ -19,7 +19,7 @@ namespace
 // ---------------------------------------------------------------------------
 
 const std::vector<RuleInfo> kRules = {
-    {"no-unordered-iteration", "src/sched src/dse",
+    {"no-unordered-iteration", "src/accel src/sched src/dse",
      "range-for or .begin() iteration over unordered_map/unordered_set "
      "in result-affecting paths; iterate a sorted materialization or "
      "justify why order cannot reach results"},
@@ -392,7 +392,9 @@ scopeFor(const std::string &path, const Options &opts)
 {
     RuleScope s;
     bool inLib = startsWith(path, "src/");
-    s.unorderedIteration = opts.allPaths || startsWith(path, "src/sched") ||
+    s.unorderedIteration = opts.allPaths ||
+                           startsWith(path, "src/accel") ||
+                           startsWith(path, "src/sched") ||
                            startsWith(path, "src/dse");
     s.wallclockRand = opts.allPaths || inLib;
     s.bareLock = true;
