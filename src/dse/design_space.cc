@@ -19,6 +19,8 @@ toString(SearchStrategy strategy)
         return "binary";
       case SearchStrategy::Random:
         return "random";
+      case SearchStrategy::Annealing:
+        return "annealing";
     }
     util::panic("unknown SearchStrategy");
 }
@@ -179,6 +181,13 @@ generateCandidates(std::uint64_t total_pes, double total_bw,
         }
         return sampled;
       }
+      case SearchStrategy::Annealing:
+        // Annealing cannot be expressed as an up-front candidate
+        // list: each proposal depends on the evaluated cost of the
+        // previous one. The sequential accept/reject driver lives in
+        // Herald::explore.
+        util::fatal("partition space: Annealing has no up-front "
+                    "candidate enumeration; use Herald::explore");
     }
     util::panic("unknown SearchStrategy");
 }
@@ -223,6 +232,116 @@ refineAround(const PartitionCandidate &center, std::uint64_t total_pes,
         }
     }
     return out;
+}
+
+namespace
+{
+
+/**
+ * Uniformly random composition of @p units into @p ways parts, each
+ * >= 1: ways-1 distinct cut points drawn from the units-1 interior
+ * positions by partial Fisher-Yates, then differenced.
+ */
+std::vector<std::uint64_t>
+randomComposition(std::uint64_t units, std::size_t ways,
+                  util::SplitMix64 &rng)
+{
+    if (units < ways)
+        util::fatal("partition space: ", units,
+                    " units cannot cover ", ways, " sub-accs");
+    std::vector<std::uint64_t> cuts(units - 1);
+    for (std::uint64_t i = 0; i < units - 1; ++i)
+        cuts[i] = i + 1;
+    for (std::size_t i = 0; i + 1 < ways; ++i) {
+        std::size_t j = i + static_cast<std::size_t>(rng.nextBounded(
+                                cuts.size() - i));
+        std::swap(cuts[i], cuts[j]);
+    }
+    cuts.resize(ways - 1);
+    std::sort(cuts.begin(), cuts.end());
+    std::vector<std::uint64_t> parts(ways);
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i + 1 < ways; ++i) {
+        parts[i] = cuts[i] - prev;
+        prev = cuts[i];
+    }
+    parts[ways - 1] = units - prev;
+    return parts;
+}
+
+} // namespace
+
+PartitionCandidate
+randomCandidate(std::uint64_t total_pes, double total_bw,
+                std::size_t ways, const PartitionSpaceOptions &opts,
+                util::SplitMix64 &rng)
+{
+    if (ways == 0)
+        util::fatal("partition space: zero sub-accelerators");
+    std::uint64_t pe_step = peStep(total_pes, opts);
+    double bw_step = bwStep(total_bw, opts);
+    std::uint64_t bw_units = static_cast<std::uint64_t>(
+        std::llround(total_bw / bw_step));
+
+    PartitionCandidate cand;
+    for (std::uint64_t u :
+         randomComposition(total_pes / pe_step, ways, rng))
+        cand.peSplit.push_back(u * pe_step);
+    for (std::uint64_t u : randomComposition(bw_units, ways, rng))
+        cand.bwSplit.push_back(static_cast<double>(u) * bw_step);
+    return cand;
+}
+
+PartitionCandidate
+neighborCandidate(const PartitionCandidate &center,
+                  std::uint64_t total_pes, double total_bw,
+                  const PartitionSpaceOptions &opts,
+                  util::SplitMix64 &rng)
+{
+    const std::size_t ways = center.peSplit.size();
+    if (ways < 2)
+        return center;
+    std::uint64_t pe_step = peStep(total_pes, opts);
+    double bw_step = bwStep(total_bw, opts);
+
+    // Bandwidth parts are re-derived as integer step counts and
+    // rebuilt as count * step, the same expression gridCandidates
+    // uses — chains therefore stay bit-exactly on the fine grid and
+    // revisits hit the evaluation memo instead of near-missing it
+    // with accumulated floating-point drift.
+    std::vector<std::uint64_t> bw_units(ways);
+    for (std::size_t i = 0; i < ways; ++i) {
+        bw_units[i] = static_cast<std::uint64_t>(
+            std::llround(center.bwSplit[i] / bw_step));
+    }
+
+    constexpr int kMaxDraws = 8;
+    for (int draw = 0; draw < kMaxDraws; ++draw) {
+        bool move_pe = (rng.next() & 1) != 0;
+        std::size_t donor =
+            static_cast<std::size_t>(rng.nextBounded(ways));
+        std::size_t receiver =
+            static_cast<std::size_t>(rng.nextBounded(ways - 1));
+        if (receiver >= donor)
+            ++receiver;
+        if (move_pe) {
+            if (center.peSplit[donor] < 2 * pe_step)
+                continue; // donor would drop below one step
+            PartitionCandidate out = center;
+            out.peSplit[donor] -= pe_step;
+            out.peSplit[receiver] += pe_step;
+            return out;
+        }
+        if (bw_units[donor] < 2)
+            continue;
+        PartitionCandidate out = center;
+        out.bwSplit[donor] =
+            static_cast<double>(bw_units[donor] - 1) * bw_step;
+        out.bwSplit[receiver] =
+            static_cast<double>(bw_units[receiver] + 1) * bw_step;
+        return out;
+    }
+    return center;
 }
 
 } // namespace herald::dse

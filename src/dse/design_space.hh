@@ -2,14 +2,20 @@
  * @file
  * Hardware-partitioning design space (paper Sec. IV-C): enumeration
  * of PE and bandwidth splits across sub-accelerators at a user-chosen
- * granularity, with exhaustive, binary (coarse-to-fine) and random
- * search strategies.
+ * granularity, with exhaustive, binary (coarse-to-fine), random and
+ * simulated-annealing search strategies. Annealing is not an
+ * up-front enumeration — proposals depend on evaluated costs — so
+ * this file only supplies its move kernel (randomCandidate /
+ * neighborCandidate); the accept/reject driver lives in
+ * Herald::explore (see docs/DSE.md).
  */
 
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "util/math_utils.hh"
 
 namespace herald::dse
 {
@@ -37,9 +43,38 @@ enum class SearchStrategy
     Exhaustive, //!< full grid at the given granularity
     Binary,     //!< coarse grid, then refine around the best
     Random,     //!< uniform samples from the fine grid
+    Annealing,  //!< simulated annealing (driver in Herald::explore)
 };
 
 const char *toString(SearchStrategy strategy);
+
+/**
+ * Simulated-annealing parameters (SearchStrategy::Annealing). The
+ * schedule is geometric: iteration i of every chain runs at
+ * temperature initialTemp * cooling^i, and a worse proposal with
+ * relative regression r is accepted with probability exp(-r / T).
+ * All randomness flows from per-chain SplitMix64 streams derived
+ * from PartitionSpaceOptions::seed, so a run is a pure function of
+ * (workload, chip, options) — independent of HERALD_THREADS.
+ */
+struct AnnealingOptions
+{
+    /** Independent chains per iteration batch (parallel width). */
+    std::size_t chains = 8;
+    /** Metropolis iterations per chain. */
+    std::size_t iterations = 256;
+    /**
+     * Stop once this many *distinct* candidates have been evaluated
+     * (revisits are memoized and free); 0 means no cap. The cap is
+     * checked between iteration batches, so up to `chains` fresh
+     * evaluations may land past it.
+     */
+    std::size_t maxEvaluations = 0;
+    /** Initial temperature, relative to the current objective. */
+    double initialTemp = 0.10;
+    /** Geometric cooling factor per iteration, in (0, 1]. */
+    double cooling = 0.97;
+};
 
 /** Partition-space generation parameters. */
 struct PartitionSpaceOptions
@@ -51,8 +86,10 @@ struct PartitionSpaceOptions
     SearchStrategy strategy = SearchStrategy::Exhaustive;
     /** Sample count for SearchStrategy::Random. */
     std::size_t randomSamples = 64;
-    /** PRNG seed for SearchStrategy::Random (deterministic). */
+    /** PRNG seed for Random and Annealing (deterministic). */
     std::uint64_t seed = 1;
+    /** Metaheuristic knobs for SearchStrategy::Annealing. */
+    AnnealingOptions annealing;
 };
 
 /**
@@ -73,6 +110,31 @@ generateCandidates(std::uint64_t total_pes, double total_bw,
 std::vector<PartitionCandidate>
 refineAround(const PartitionCandidate &center, std::uint64_t total_pes,
              double total_bw, const PartitionSpaceOptions &opts);
+
+/**
+ * A uniformly random point of the fine grid (each axis an
+ * independent uniform composition), for annealing chain starts.
+ * Consumes a deterministic amount of @p rng state per call.
+ */
+PartitionCandidate randomCandidate(std::uint64_t total_pes,
+                                   double total_bw, std::size_t ways,
+                                   const PartitionSpaceOptions &opts,
+                                   util::SplitMix64 &rng);
+
+/**
+ * One annealing move from @p center : transfer a single granularity
+ * step of one axis (PE or bandwidth, coin-flipped) from a random
+ * donor sub-accelerator to a random distinct receiver. Moves that
+ * would push the donor below one step are redrawn a bounded number
+ * of times; if none lands, @p center is returned unchanged (the
+ * chain stays put for that iteration). Totals are conserved by
+ * construction, so every neighbor is a valid fine-grid point.
+ */
+PartitionCandidate neighborCandidate(const PartitionCandidate &center,
+                                     std::uint64_t total_pes,
+                                     double total_bw,
+                                     const PartitionSpaceOptions &opts,
+                                     util::SplitMix64 &rng);
 
 } // namespace herald::dse
 

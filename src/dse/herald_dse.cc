@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sched/layer_cost_table.hh"
 #include "util/logging.hh"
+#include "util/math_utils.hh"
 #include "util/thread_pool.hh"
 
 namespace herald::dse
@@ -83,6 +86,16 @@ DseResult::designPoints() const
     return out;
 }
 
+std::vector<util::DesignPoint>
+DseResult::frontierPoints() const
+{
+    std::vector<util::DesignPoint> out;
+    out.reserve(frontier.size());
+    for (std::size_t idx : frontier)
+        out.push_back(points.at(idx).designPoint());
+    return out;
+}
+
 Herald::Herald(cost::CostModel &model, HeraldOptions options)
     : costModel(model), opts(options)
 {
@@ -100,6 +113,8 @@ toString(Objective objective)
         return "energy";
       case Objective::SlaViolations:
         return "SLA violations";
+      case Objective::ParetoFrontier:
+        return "Pareto frontier";
     }
     util::panic("unknown Objective");
 }
@@ -122,6 +137,17 @@ Herald::objectiveValue(const sched::ScheduleSummary &summary) const
         return static_cast<double>(summary.sla.deadlineMisses) +
                lat / (1.0 + lat);
       }
+      case Objective::ParetoFrontier: {
+        // Scalarization used for bestIdx (and for the annealing
+        // chains) in frontier mode: lexicographic (misses, EDP),
+        // same squash-below-1 fold as SlaViolations. Its argmin is
+        // always ON the frontier: a dominator would have misses <=
+        // and latency/energy <= with one strict, hence an equal-or-
+        // lower key — contradiction with being the strict argmin.
+        double edp = summary.edp();
+        return static_cast<double>(summary.sla.deadlineMisses) +
+               edp / (1.0 + edp);
+      }
     }
     util::panic("unknown Objective");
 }
@@ -138,15 +164,27 @@ DsePoint
 Herald::evaluateImpl(const workload::Workload &wl,
                      const accel::Accelerator &acc,
                      const sched::ReconfigOptions &reconfig,
-                     std::size_t prefill_threads) const
+                     std::size_t prefill_threads,
+                     sched::CostColumnCache *cache) const
 {
     // One LayerCostTable per candidate: built once (unique layers x
     // sub-accs), reused across every scheduled layer of the run.
+    // With a sweep-shared column cache, the build fetches whole
+    // columns that earlier candidates already evaluated.
     sched::SchedulerOptions sched_opts = opts.scheduler;
     sched_opts.reconfig = reconfig;
     sched_opts.prefillThreads = prefill_threads;
     sched::HeraldScheduler scheduler(costModel, sched_opts);
-    sched::Schedule schedule = scheduler.schedule(wl, acc);
+    auto run = [&]() -> sched::Schedule {
+        if (cache != nullptr && wl.numInstances() > 0) {
+            sched::LayerCostTable table = sched::LayerCostTable::build(
+                costModel, wl, acc, sched_opts.metric,
+                sched_opts.rdaOverheads, prefill_threads, cache);
+            return scheduler.schedule(wl, acc, table);
+        }
+        return scheduler.schedule(wl, acc);
+    };
+    sched::Schedule schedule = run();
     DsePoint point{acc,
                    schedule.finalize(wl, acc,
                                      costModel.energyModel(),
@@ -186,6 +224,15 @@ Herald::explore(const workload::Workload &wl,
             : opts.reconfigCandidates;
     const std::size_t n_recfg = recfgs.size();
 
+    // The sweep-wide column cache (tentpole of the DSE engine):
+    // candidates that hand a sub-accelerator a (style, resources)
+    // tuple an earlier candidate already evaluated reuse the whole
+    // LayerCostTable column. Pure-function values, so results are
+    // bit-identical with the cache off.
+    sched::CostColumnCache column_cache;
+    sched::CostColumnCache *cache =
+        opts.shareCostColumns ? &column_cache : nullptr;
+
     DseResult result;
     double best = std::numeric_limits<double>::infinity();
 
@@ -193,79 +240,197 @@ Herald::explore(const workload::Workload &wl,
     // (candidate, reconfig) index; the best-point reduction below
     // runs serially in that order, so points, their order and
     // bestIdx match the serial sweep exactly (same "<"
-    // tie-breaking).
+    // tie-breaking). @p values_out, when given, receives each
+    // candidate's objective value minimized over the reconfig axis
+    // (the per-candidate score the annealing chains climb on).
     auto evaluate_candidates =
-        [&](const std::vector<PartitionCandidate> &candidates) {
-            std::vector<std::optional<DsePoint>> slots(
-                candidates.size() * n_recfg);
-            // When candidates fan out across the sweep pool, each
-            // one builds its LayerCostTable serially — nesting a
-            // prefill pool would only oversubscribe the machine. On
-            // the serial branch (no pool, or a single candidate,
-            // e.g. a degenerate Binary refinement batch) the prefill
-            // gets the full thread budget instead; either way the
-            // results are bit-identical.
-            const bool sweep_parallel = pool && slots.size() > 1;
-            const std::size_t prefill_threads =
-                sweep_parallel ? 1 : n_threads;
-            auto eval_one = [&](std::size_t i) {
-                const PartitionCandidate &cand =
-                    candidates[i / n_recfg];
-                accel::Accelerator acc = accel::Accelerator::makeHda(
-                    chip, styles, cand.peSplit, cand.bwSplit);
-                slots[i] = evaluateImpl(wl, acc, recfgs[i % n_recfg],
-                                        prefill_threads);
-            };
-            if (sweep_parallel) {
-                pool->parallelFor(0, slots.size(), eval_one);
-            } else {
-                for (std::size_t i = 0; i < slots.size(); ++i)
-                    eval_one(i);
-            }
-
-            std::optional<PartitionCandidate> best_cand;
-            for (std::size_t i = 0; i < slots.size(); ++i) {
-                DsePoint &point = *slots[i];
-                double value = objectiveValue(point.summary);
-                if (value < best) {
-                    best = value;
-                    result.bestIdx = result.points.size();
-                    best_cand = candidates[i / n_recfg];
-                }
-                result.points.push_back(std::move(point));
-            }
-            return best_cand;
-        };
-
-    std::vector<PartitionCandidate> candidates = generateCandidates(
-        chip.numPes, chip.bwGBps, styles.size(), opts.partition);
-    std::optional<PartitionCandidate> best_cand =
-        evaluate_candidates(candidates);
-
-    if (opts.partition.strategy == SearchStrategy::Binary &&
-        best_cand) {
-        // Refine around the coarse optimum on the fine grid, but
-        // never re-evaluate a (peSplit, bwSplit) point the coarse
-        // round already scored — the refinement window overlaps the
-        // coarse grid (including its own center). Filtering keeps
-        // the surviving candidates in refineAround's order, so the
-        // sweep stays bit-identical across thread counts.
-        std::unordered_set<CandidateKey, CandidateKeyHash> seen;
-        for (const PartitionCandidate &c : candidates)
-            seen.insert(candidateKey(c));
-        std::vector<PartitionCandidate> refined = refineAround(
-            *best_cand, chip.numPes, chip.bwGBps, opts.partition);
-        std::vector<PartitionCandidate> fresh;
-        fresh.reserve(refined.size());
-        for (PartitionCandidate &c : refined) {
-            if (seen.insert(candidateKey(c)).second)
-                fresh.push_back(std::move(c));
+        [&](const std::vector<PartitionCandidate> &candidates,
+            std::vector<double> *values_out =
+                nullptr) -> std::optional<PartitionCandidate> {
+        if (values_out) {
+            values_out->assign(
+                candidates.size(),
+                std::numeric_limits<double>::infinity());
         }
-        evaluate_candidates(fresh);
+        std::vector<std::optional<DsePoint>> slots(
+            candidates.size() * n_recfg);
+        // When candidates fan out across the sweep pool, each
+        // one builds its LayerCostTable serially — nesting a
+        // prefill pool would only oversubscribe the machine. On
+        // the serial branch (no pool, or a single candidate,
+        // e.g. a degenerate Binary refinement batch) the prefill
+        // gets the full thread budget instead; either way the
+        // results are bit-identical.
+        const bool sweep_parallel = pool && slots.size() > 1;
+        const std::size_t prefill_threads =
+            sweep_parallel ? 1 : n_threads;
+        auto eval_one = [&](std::size_t i) {
+            const PartitionCandidate &cand = candidates[i / n_recfg];
+            accel::Accelerator acc = accel::Accelerator::makeHda(
+                chip, styles, cand.peSplit, cand.bwSplit);
+            slots[i] = evaluateImpl(wl, acc, recfgs[i % n_recfg],
+                                    prefill_threads, cache);
+        };
+        if (sweep_parallel) {
+            pool->parallelFor(0, slots.size(), eval_one);
+        } else {
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                eval_one(i);
+        }
+
+        std::optional<PartitionCandidate> best_cand;
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            DsePoint &point = *slots[i];
+            double value = objectiveValue(point.summary);
+            if (values_out) {
+                double &slot = (*values_out)[i / n_recfg];
+                slot = std::min(slot, value);
+            }
+            if (value < best) {
+                best = value;
+                result.bestIdx = result.points.size();
+                best_cand = candidates[i / n_recfg];
+            }
+            result.points.push_back(std::move(point));
+        }
+        return best_cand;
+    };
+
+    if (opts.partition.strategy == SearchStrategy::Annealing) {
+        // Batch-synchronous simulated annealing. Every iteration,
+        // each chain proposes one neighbor; the *fresh* proposals
+        // (never evaluated before) are scored in a single parallel
+        // batch, then acceptance runs serially in chain order.
+        // Randomness lives in per-chain SplitMix64 streams seeded
+        // from opts.partition.seed, and every evaluated value is a
+        // pure function of the candidate — so the chain trajectories,
+        // the points vector, bestIdx and the frontier are
+        // bit-identical across reruns and HERALD_THREADS settings.
+        const AnnealingOptions &ann = opts.partition.annealing;
+        if (ann.chains == 0)
+            util::fatal("Herald::explore: annealing needs >= 1 "
+                        "chain");
+        if (!(ann.cooling > 0.0 && ann.cooling <= 1.0))
+            util::fatal("Herald::explore: annealing cooling must be "
+                        "in (0, 1]");
+
+        // Candidate-level memo: revisiting a (peSplit, bwSplit)
+        // point is free and appends no new DsePoint, so "distinct
+        // evaluations" — the budget unit — equals memo.size().
+        std::unordered_map<CandidateKey, double, CandidateKeyHash>
+            memo;
+        auto evaluate_memo =
+            [&](const std::vector<PartitionCandidate> &cands) {
+                std::vector<PartitionCandidate> fresh;
+                for (const PartitionCandidate &c : cands) {
+                    if (memo
+                            .emplace(candidateKey(c),
+                                     std::numeric_limits<
+                                         double>::quiet_NaN())
+                            .second) {
+                        fresh.push_back(c);
+                    }
+                }
+                std::vector<double> fresh_vals;
+                if (!fresh.empty())
+                    evaluate_candidates(fresh, &fresh_vals);
+                for (std::size_t i = 0; i < fresh.size(); ++i)
+                    memo[candidateKey(fresh[i])] = fresh_vals[i];
+                std::vector<double> out;
+                out.reserve(cands.size());
+                for (const PartitionCandidate &c : cands)
+                    out.push_back(memo.at(candidateKey(c)));
+                return out;
+            };
+
+        util::SplitMix64 seeder(opts.partition.seed);
+        std::vector<util::SplitMix64> rngs;
+        rngs.reserve(ann.chains);
+        for (std::size_t c = 0; c < ann.chains; ++c)
+            rngs.emplace_back(seeder.next());
+
+        std::vector<PartitionCandidate> cur(ann.chains);
+        for (std::size_t c = 0; c < ann.chains; ++c) {
+            cur[c] = randomCandidate(chip.numPes, chip.bwGBps,
+                                     styles.size(), opts.partition,
+                                     rngs[c]);
+        }
+        std::vector<double> cur_val = evaluate_memo(cur);
+
+        for (std::size_t it = 0; it < ann.iterations; ++it) {
+            if (ann.maxEvaluations != 0 &&
+                memo.size() >= ann.maxEvaluations)
+                break;
+            const double temp =
+                ann.initialTemp *
+                std::pow(ann.cooling, static_cast<double>(it));
+            std::vector<PartitionCandidate> prop(ann.chains);
+            for (std::size_t c = 0; c < ann.chains; ++c) {
+                prop[c] = neighborCandidate(cur[c], chip.numPes,
+                                            chip.bwGBps,
+                                            opts.partition, rngs[c]);
+            }
+            std::vector<double> prop_val = evaluate_memo(prop);
+            for (std::size_t c = 0; c < ann.chains; ++c) {
+                const double delta = prop_val[c] - cur_val[c];
+                bool accept = delta <= 0.0;
+                if (!accept) {
+                    // Metropolis on the *relative* regression
+                    // delta / |current|, so the temperature scale is
+                    // objective-unit-free. A zero denominator (cold
+                    // chain or zero-valued objective) rejects.
+                    const double denom =
+                        temp * std::abs(cur_val[c]);
+                    accept = denom > 0.0 &&
+                             rngs[c].nextDouble() <
+                                 std::exp(-delta / denom);
+                }
+                if (accept) {
+                    cur[c] = prop[c];
+                    cur_val[c] = prop_val[c];
+                }
+            }
+        }
+    } else {
+        std::vector<PartitionCandidate> candidates =
+            generateCandidates(chip.numPes, chip.bwGBps,
+                               styles.size(), opts.partition);
+        std::optional<PartitionCandidate> best_cand =
+            evaluate_candidates(candidates);
+
+        if (opts.partition.strategy == SearchStrategy::Binary &&
+            best_cand) {
+            // Refine around the coarse optimum on the fine grid, but
+            // never re-evaluate a (peSplit, bwSplit) point the
+            // coarse round already scored — the refinement window
+            // overlaps the coarse grid (including its own center).
+            // Filtering keeps the surviving candidates in
+            // refineAround's order, so the sweep stays bit-identical
+            // across thread counts.
+            std::unordered_set<CandidateKey, CandidateKeyHash> seen;
+            for (const PartitionCandidate &c : candidates)
+                seen.insert(candidateKey(c));
+            std::vector<PartitionCandidate> refined = refineAround(
+                *best_cand, chip.numPes, chip.bwGBps,
+                opts.partition);
+            std::vector<PartitionCandidate> fresh;
+            fresh.reserve(refined.size());
+            for (PartitionCandidate &c : refined) {
+                if (seen.insert(candidateKey(c)).second)
+                    fresh.push_back(std::move(c));
+            }
+            evaluate_candidates(fresh);
+        }
     }
 
     if (result.points.empty())
         util::fatal("Herald::explore: empty partition space");
+
+    // Frontier mode: extract the Pareto-optimal subset over every
+    // evaluated point. bestIdx already holds the scalarized argmin,
+    // which provably lies on this frontier (see objectiveValue).
+    if (opts.objective == Objective::ParetoFrontier)
+        result.frontier = util::paretoFrontIndices(result.designPoints());
     return result;
 }
 

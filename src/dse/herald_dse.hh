@@ -20,6 +20,11 @@
 #include "util/pareto.hh"
 #include "workload/workload.hh"
 
+namespace herald::sched
+{
+class CostColumnCache;
+} // namespace herald::sched
+
 namespace herald::dse
 {
 
@@ -35,12 +40,15 @@ struct DsePoint
      */
     sched::ReconfigOptions reconfig{};
 
-    /** Latency/energy view for Pareto plots. */
+    /** Latency/energy/SLA-miss view for Pareto extraction. */
     util::DesignPoint
     designPoint() const
     {
-        return util::DesignPoint{summary.latencySec, summary.energyMj,
-                                 accelerator.name()};
+        util::DesignPoint pt{summary.latencySec, summary.energyMj,
+                             accelerator.name()};
+        pt.slaMisses =
+            static_cast<double>(summary.sla.deadlineMisses);
+        return pt;
     }
 };
 
@@ -50,10 +58,24 @@ struct DseResult
     std::vector<DsePoint> points;
     std::size_t bestIdx = 0; //!< by the configured objective
 
+    /**
+     * Indices into points of the Pareto-optimal subset over
+     * (latency, energy, SLA misses), in ascending-latency order
+     * (util::paretoFrontIndices). Filled under
+     * Objective::ParetoFrontier — empty for scalar objectives, whose
+     * callers only want the argmin. When filled, bestIdx is always a
+     * member: the argmin of the (misses, EDP) scalarization cannot
+     * be dominated.
+     */
+    std::vector<std::size_t> frontier;
+
     const DsePoint &best() const { return points.at(bestIdx); }
 
-    /** All points as latency/energy pairs. */
+    /** All points as latency/energy/miss triples. */
     std::vector<util::DesignPoint> designPoints() const;
+
+    /** The frontier rows of designPoints() (empty unless filled). */
+    std::vector<util::DesignPoint> frontierPoints() const;
 };
 
 /**
@@ -77,6 +99,15 @@ enum class Objective
      * sweep searches hardware x policy together.
      */
     SlaViolations,
+    /**
+     * Multi-objective mode: DseResult::frontier is filled with the
+     * Pareto-optimal subset over (latency, energy, SLA misses), and
+     * bestIdx falls back to the lexicographic (misses, EDP)
+     * scalarization — a point guaranteed to lie on the frontier, so
+     * single-number consumers keep working. This is also the scalar
+     * the annealing chains hill-climb on under this objective.
+     */
+    ParetoFrontier,
 };
 
 const char *toString(Objective objective);
@@ -100,6 +131,17 @@ struct HeraldOptions
     std::vector<sched::ReconfigOptions> reconfigCandidates{};
     /** Charge idle static energy at schedule level. */
     bool chargeIdleEnergy = true;
+    /**
+     * Share LayerCostTable columns across the partition sweep
+     * through one sched::CostColumnCache: candidates that give a
+     * sub-accelerator a (style, resources) tuple some earlier
+     * candidate already evaluated reuse that whole column instead of
+     * re-paying the dominant prefill cost. Bit-identical results
+     * either way (columns are pure functions of their key); false
+     * restores the pre-cache brute-force cost profile, which
+     * bench_dse_throughput uses as its speedup baseline.
+     */
+    bool shareCostColumns = true;
     /**
      * Worker threads for the partition sweep: 0 resolves via the
      * HERALD_THREADS environment variable, then the hardware
@@ -151,12 +193,15 @@ class Herald
      * evaluate() with an explicit LayerCostTable prefill width — the
      * partition sweep forces the serial prefill on its workers while
      * the public single-candidate entry point keeps the configured
-     * fan-out.
+     * fan-out. A non-null @p cache routes the prefill through the
+     * sweep's shared CostColumnCache (shareCostColumns).
      */
     DsePoint evaluateImpl(const workload::Workload &wl,
                           const accel::Accelerator &acc,
                           const sched::ReconfigOptions &reconfig,
-                          std::size_t prefill_threads) const;
+                          std::size_t prefill_threads,
+                          sched::CostColumnCache *cache = nullptr)
+        const;
 };
 
 } // namespace herald::dse

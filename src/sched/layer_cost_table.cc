@@ -1,13 +1,119 @@
 #include "sched/layer_cost_table.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <utility>
 
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace herald::sched
 {
+
+namespace
+{
+
+/** Bit pattern of a double for exact-identity hashing. */
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+bool
+CostColumnCache::Key::operator==(const Key &o) const
+{
+    return style == o.style && flexible == o.flexible &&
+           numPes == o.numPes && l2Bytes == o.l2Bytes &&
+           l1Bytes == o.l1Bytes && bwBits == o.bwBits &&
+           dramBwBits == o.dramBwBits && clockBits == o.clockBits &&
+           localBwBits == o.localBwBits &&
+           rdaTaxBits == o.rdaTaxBits &&
+           rdaBaseBits == o.rdaBaseBits &&
+           rdaPerPeBits == o.rdaPerPeBits &&
+           rdaEnergyBits == o.rdaEnergyBits;
+}
+
+std::size_t
+CostColumnCache::KeyHash::operator()(const Key &key) const
+{
+    auto mix = [](std::size_t h, std::uint64_t v) {
+        return h ^
+               (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+    };
+    std::size_t h = 0;
+    h = mix(h, key.style);
+    h = mix(h, key.flexible);
+    h = mix(h, key.numPes);
+    h = mix(h, key.l2Bytes);
+    h = mix(h, key.l1Bytes);
+    h = mix(h, key.bwBits);
+    h = mix(h, key.dramBwBits);
+    h = mix(h, key.clockBits);
+    h = mix(h, key.localBwBits);
+    h = mix(h, key.rdaTaxBits);
+    h = mix(h, key.rdaBaseBits);
+    h = mix(h, key.rdaPerPeBits);
+    h = mix(h, key.rdaEnergyBits);
+    return h;
+}
+
+std::size_t
+CostColumnCache::size() const
+{
+    std::size_t n = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+std::shared_ptr<const CostColumnCache::Column>
+CostColumnCache::find(const Key &key)
+{
+    Shard &shard = shards[KeyHash{}(key) % kShards];
+    std::shared_ptr<const Column> column;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end())
+            column = it->second;
+    }
+    (column ? hitCount : missCount)
+        .fetch_add(1, std::memory_order_relaxed);
+    return column;
+}
+
+void
+CostColumnCache::insert(const Key &key,
+                        std::shared_ptr<const Column> column)
+{
+    Shard &shard = shards[KeyHash{}(key) % kShards];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // emplace keeps the incumbent on a racing double-insert; both
+    // racers evaluated the identical pure-function column.
+    shard.map.emplace(key, std::move(column));
+}
+
+void
+CostColumnCache::bindRows(std::size_t rows)
+{
+    std::size_t expected = 0;
+    if (!boundRows.compare_exchange_strong(expected, rows) &&
+        expected != rows) {
+        util::fatal("cost column cache: bound to a workload with ",
+                    expected, " unique-layer rows, asked to build ",
+                    rows,
+                    " — one cache instance serves one workload");
+    }
+}
 
 LayerCostTable::DegradedView::DegradedView(const LayerCostTable &t)
     : table(&t), minCycDeg(t.minCyc), remSuffixDeg(t.remSuffix)
@@ -67,7 +173,7 @@ LayerCostTable::build(cost::CostModel &model,
                       const workload::Workload &wl,
                       const accel::Accelerator &acc, Metric metric,
                       const accel::RdaOverheads &rda,
-                      std::size_t num_threads)
+                      std::size_t num_threads, CostColumnCache *cache)
 {
     LayerCostTable table;
     table.nAcc = acc.numSubAccs();
@@ -99,17 +205,62 @@ LayerCostTable::build(cost::CostModel &model,
             layer_of[table.modelOffset[u] + l] = &m.layer(l);
     }
 
-    // Fill one row: every sub-acc cost, its metric value, and the
-    // metric-sorted sub-acc order. Rows are independent pure
-    // functions of (layer, acc), so the parallel fill is bit-
-    // identical to the serial one.
+    // Resolve columns against the cross-candidate cache: copy hits
+    // into the table up front, leaving only the missing columns to
+    // evaluate. Without a cache every column is "missing" and the
+    // fill below is the original full prefill.
+    std::vector<CostColumnCache::Key> keys(table.nAcc);
+    std::vector<std::size_t> missing;
+    if (cache != nullptr) {
+        cache->bindRows(rows);
+        for (std::size_t a = 0; a < table.nAcc; ++a) {
+            const accel::SubAccelerator &sub = acc.subAccs()[a];
+            CostColumnCache::Key &key = keys[a];
+            key.flexible = sub.flexible ? 1 : 0;
+            key.style = sub.flexible
+                            ? 0
+                            : static_cast<std::uint64_t>(sub.style);
+            key.numPes = res[a].numPes;
+            key.l2Bytes = res[a].l2Bytes;
+            key.l1Bytes = res[a].l1Bytes;
+            key.bwBits = doubleBits(res[a].bwGBps);
+            key.dramBwBits = doubleBits(res[a].dramBwGBps);
+            key.clockBits = doubleBits(res[a].clockGHz);
+            key.localBwBits =
+                doubleBits(res[a].localBwBytesPerCycle);
+            key.rdaTaxBits = doubleBits(rda.interconnectEnergyTax);
+            key.rdaBaseBits = doubleBits(rda.reconfigBaseCycles);
+            key.rdaPerPeBits = doubleBits(rda.reconfigCyclesPerPe);
+            key.rdaEnergyBits = doubleBits(rda.reconfigEnergyPerPe);
+            if (auto column = cache->find(key)) {
+                for (std::size_t row = 0; row < rows; ++row)
+                    table.entries[row * table.nAcc + a] =
+                        (*column)[row];
+            } else {
+                missing.push_back(a);
+            }
+        }
+    } else {
+        for (std::size_t a = 0; a < table.nAcc; ++a)
+            missing.push_back(a);
+    }
+
+    // Fill one row: the missing sub-acc costs, then the derived
+    // whole-row state (metric values, metric-sorted order, optimistic
+    // minimum — those read every column, cached or fresh). Rows are
+    // independent pure functions of (layer, acc), so the parallel
+    // fill is bit-identical to the serial one — and a cached column
+    // is bit-identical to a re-evaluated one, so cached builds equal
+    // cold builds exactly.
     auto fill_row = [&](std::size_t row) {
         const dnn::Layer &layer = *layer_of[row];
         const std::size_t base = row * table.nAcc;
-        double min_cycles = 0.0;
-        for (std::size_t a = 0; a < table.nAcc; ++a) {
+        for (std::size_t a : missing) {
             table.entries[base + a] = accel::evaluateOnSub(
                 model, acc.subAccs()[a], res[a], layer, rda);
+        }
+        double min_cycles = 0.0;
+        for (std::size_t a = 0; a < table.nAcc; ++a) {
             table.metrics[base + a] =
                 metricValue(metric, table.entries[base + a].cost);
             table.orders[base + a] = a;
@@ -132,14 +283,27 @@ LayerCostTable::build(cost::CostModel &model,
                               ? 1
                               : util::resolveThreadCount(num_threads);
     // One row is the unit of work; spawning more workers than rows
-    // would only pay thread create/join cost for idle hands.
+    // would only pay thread create/join cost for idle hands. The
+    // pool is gated on the *missing* evaluation count: an all-hit
+    // build only runs the cheap derived pass.
     threads = std::min(threads, rows);
-    if (threads > 1 && rows * table.nAcc >= kMinParallelEvals) {
+    if (threads > 1 && rows * missing.size() >= kMinParallelEvals) {
         util::ThreadPool pool(threads - 1);
         pool.parallelFor(0, rows, fill_row);
     } else {
         for (std::size_t row = 0; row < rows; ++row)
             fill_row(row);
+    }
+
+    // Publish the freshly evaluated columns for later candidates.
+    if (cache != nullptr) {
+        for (std::size_t a : missing) {
+            auto column =
+                std::make_shared<CostColumnCache::Column>(rows);
+            for (std::size_t row = 0; row < rows; ++row)
+                (*column)[row] = table.entries[row * table.nAcc + a];
+            cache->insert(keys[a], std::move(column));
+        }
     }
 
     // Per-model optimistic remaining-work suffix sums (serial: a

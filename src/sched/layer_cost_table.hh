@@ -27,7 +27,13 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "accel/rda.hh"
@@ -37,6 +43,115 @@
 namespace herald::sched
 {
 
+/**
+ * Cross-candidate cache of LayerCostTable *columns*: the vector of
+ * per-unique-layer StyledLayerCosts of one sub-accelerator, keyed on
+ * everything the column is a pure function of — the sub-
+ * accelerator's dataflow style (or flexibility), its full resource
+ * tuple, and the RDA overhead coefficients. The workload's unique-
+ * layer set is deliberately NOT part of the key: a cache instance is
+ * bound to one workload (asserted via the row count on first use)
+ * and shared across the many accelerator candidates the DSE
+ * schedules against that workload.
+ *
+ * Why columns and not per-layer costs: the CostModel already
+ * memoizes per-(layer, style, resources) evaluations, but a table
+ * prefill still pays one hash + shard-mutex round trip per entry —
+ * rows x sub-accs of them per candidate. Neighboring DSE candidates
+ * (an annealing move, a shared axis value of the exhaustive grid)
+ * mostly re-request identical columns, so caching at column
+ * granularity collapses the whole per-column prefill to one lookup
+ * plus a memcpy, which is what makes metaheuristic search pay ~only
+ * the dispatch cost per revisited region (see docs/DSE.md).
+ *
+ * Thread safety: find/insert may race from any number of
+ * Herald::explore workers. The map is split into kShards shards,
+ * each behind its own mutex; columns are immutable once published
+ * (shared_ptr<const Column>), and on an insert race the first writer
+ * wins — both racers computed the identical pure-function column,
+ * so the cache stays deterministic.
+ */
+class CostColumnCache
+{
+  public:
+    /** One column: rows entries in unique-layer row order. */
+    using Column = std::vector<accel::StyledLayerCost>;
+
+    /** Hit/miss counters (for bench reporting; racy reads are ok). */
+    struct Stats
+    {
+        std::size_t hits = 0;
+        std::size_t misses = 0;
+    };
+
+    Stats
+    stats() const
+    {
+        return Stats{hitCount.load(std::memory_order_relaxed),
+                     missCount.load(std::memory_order_relaxed)};
+    }
+
+    /** Distinct columns currently cached. */
+    std::size_t size() const;
+
+  private:
+    friend class LayerCostTable;
+
+    /** Everything a column is a pure function of (doubles as bits). */
+    struct Key
+    {
+        std::uint64_t style = 0;
+        std::uint64_t flexible = 0;
+        std::uint64_t numPes = 0;
+        std::uint64_t l2Bytes = 0;
+        std::uint64_t l1Bytes = 0;
+        std::uint64_t bwBits = 0;
+        std::uint64_t dramBwBits = 0;
+        std::uint64_t clockBits = 0;
+        std::uint64_t localBwBits = 0;
+        std::uint64_t rdaTaxBits = 0;
+        std::uint64_t rdaBaseBits = 0;
+        std::uint64_t rdaPerPeBits = 0;
+        std::uint64_t rdaEnergyBits = 0;
+
+        bool operator==(const Key &o) const;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    /** Cached column for @p key, or nullptr (counts the probe). */
+    std::shared_ptr<const Column> find(const Key &key);
+
+    /** Publish @p column; an earlier racer's identical copy wins. */
+    void insert(const Key &key, std::shared_ptr<const Column> column);
+
+    /**
+     * Bind the cache to a workload's unique-layer row count on first
+     * use; fatal when a later build disagrees — sharing one cache
+     * across workloads would silently serve wrong-length (and
+     * wrong-layer) columns.
+     */
+    void bindRows(std::size_t rows);
+
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<Key, std::shared_ptr<const Column>,
+                           KeyHash>
+            map;
+    };
+
+    std::array<Shard, kShards> shards;
+    std::atomic<std::size_t> hitCount{0};
+    std::atomic<std::size_t> missCount{0};
+    std::atomic<std::size_t> boundRows{0};
+};
+
 /** See file comment. */
 class LayerCostTable
 {
@@ -45,15 +160,24 @@ class LayerCostTable
      * Evaluate every (unique layer, sub-accelerator) pair of @p wl on
      * @p acc. @p num_threads controls the prefill fan-out: 1 forces
      * the serial path, 0 resolves via HERALD_THREADS then hardware
-     * concurrency; a pool is only spun up when the table has at least
-     * kMinParallelEvals entries.
+     * concurrency; a pool is only spun up when the missing-entry
+     * count reaches kMinParallelEvals.
+     *
+     * With a non-null @p cache, whole columns are fetched from (and
+     * newly evaluated columns published to) the cross-candidate
+     * CostColumnCache instead of being re-evaluated per candidate.
+     * The resulting table is bit-identical to an uncached build —
+     * columns are pure functions of their key — which
+     * tests/test_dse_engine.cc asserts on a randomized candidate
+     * sweep.
      */
     static LayerCostTable build(cost::CostModel &model,
                                 const workload::Workload &wl,
                                 const accel::Accelerator &acc,
                                 Metric metric,
                                 const accel::RdaOverheads &rda,
-                                std::size_t num_threads = 1);
+                                std::size_t num_threads = 1,
+                                CostColumnCache *cache = nullptr);
 
     /**
      * Re-evaluate only the (layer x sub-acc) costs of the listed

@@ -71,6 +71,18 @@ class SplitMix64
         return next() % bound;
     }
 
+    /**
+     * Uniform double in [0, 1): the top 53 bits of next(), scaled.
+     * Exactly reproducible across platforms (a single multiply of an
+     * integer by a power of two), which the annealing acceptance
+     * test relies on for bit-identical reruns.
+     */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
   private:
     std::uint64_t state;
 };

@@ -1,7 +1,6 @@
 #include "util/pareto.hh"
 
 #include <algorithm>
-#include <limits>
 
 #include "util/logging.hh"
 
@@ -12,28 +11,64 @@ bool
 dominates(const DesignPoint &a, const DesignPoint &b)
 {
     return a.latency <= b.latency && a.energy <= b.energy &&
-           (a.latency < b.latency || a.energy < b.energy);
+           a.slaMisses <= b.slaMisses &&
+           (a.latency < b.latency || a.energy < b.energy ||
+            a.slaMisses < b.slaMisses);
+}
+
+std::vector<std::size_t>
+paretoFrontIndices(const std::vector<DesignPoint> &points)
+{
+    // Sort index handles lexicographically by (latency, energy,
+    // misses, original index). Any dominator of p is <= p in every
+    // axis and != p in one, so it sorts strictly before p — one
+    // forward sweep testing each candidate against the survivors so
+    // far is therefore complete. The trailing original-index
+    // tie-break makes the order (and the duplicate representative) a
+    // pure function of the point set.
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t ia, std::size_t ib) {
+                  const DesignPoint &a = points[ia];
+                  const DesignPoint &b = points[ib];
+                  if (a.latency != b.latency)
+                      return a.latency < b.latency;
+                  if (a.energy != b.energy)
+                      return a.energy < b.energy;
+                  if (a.slaMisses != b.slaMisses)
+                      return a.slaMisses < b.slaMisses;
+                  return ia < ib;
+              });
+
+    std::vector<std::size_t> front;
+    for (std::size_t idx : order) {
+        const DesignPoint &p = points[idx];
+        bool keep = true;
+        for (std::size_t kept : front) {
+            const DesignPoint &f = points[kept];
+            // Exact duplicates collapse to the first representative.
+            if (dominates(f, p) ||
+                (f.latency == p.latency && f.energy == p.energy &&
+                 f.slaMisses == p.slaMisses)) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            front.push_back(idx);
+    }
+    return front;
 }
 
 std::vector<DesignPoint>
 paretoFront(std::vector<DesignPoint> points)
 {
-    std::sort(points.begin(), points.end(),
-              [](const DesignPoint &a, const DesignPoint &b) {
-                  if (a.latency != b.latency)
-                      return a.latency < b.latency;
-                  return a.energy < b.energy;
-              });
-
-    std::vector<DesignPoint> front;
-    double best_energy = std::numeric_limits<double>::infinity();
-    for (const DesignPoint &p : points) {
-        if (p.energy < best_energy) {
-            front.push_back(p);
-            best_energy = p.energy;
-        }
-    }
-    return front;
+    std::vector<DesignPoint> out;
+    for (std::size_t idx : paretoFrontIndices(points))
+        out.push_back(points[idx]);
+    return out;
 }
 
 std::size_t

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * DSE search-engine tests: the simulated-annealing strategy must be a
+ * pure function of (workload, chip, options) — bit-identical across
+ * reruns and thread counts — the Pareto-frontier objective must
+ * return a valid frontier containing the argmin, and the
+ * cross-candidate CostColumnCache must leave every result
+ * bit-identical to a cold build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "accel/accelerator.hh"
+#include "dnn/model_zoo.hh"
+#include "dse/herald_dse.hh"
+#include "sched/layer_cost_table.hh"
+#include "util/logging.hh"
+#include "util/math_utils.hh"
+#include "util/pareto.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace herald;
+using dataflow::DataflowStyle;
+
+class DseEngineTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { util::setVerbose(false); }
+
+    workload::Workload
+    miniWorkload()
+    {
+        workload::Workload wl("mini");
+        wl.addModel(dnn::brqHandposeNet(), 2);
+        wl.addModel(dnn::mobileNetV2(), 1);
+        return wl;
+    }
+
+    /** Annealing on a 2-way edge HDA with a modest budget. */
+    dse::HeraldOptions
+    annealingOptions(std::uint64_t seed, std::size_t threads)
+    {
+        dse::HeraldOptions opts;
+        opts.partition.peGranularity = 128;
+        opts.partition.bwGranularity = 2.0;
+        opts.partition.strategy = dse::SearchStrategy::Annealing;
+        opts.partition.seed = seed;
+        opts.partition.annealing.chains = 4;
+        opts.partition.annealing.iterations = 12;
+        opts.objective = dse::Objective::ParetoFrontier;
+        opts.numThreads = threads;
+        return opts;
+    }
+
+    dse::DseResult
+    runAnnealing(std::uint64_t seed, std::size_t threads)
+    {
+        cost::CostModel model;
+        dse::Herald herald(model, annealingOptions(seed, threads));
+        workload::Workload wl = miniWorkload();
+        return herald.explore(wl, accel::edgeClass(),
+                              {DataflowStyle::NVDLA,
+                               DataflowStyle::ShiDiannao});
+    }
+
+    static void
+    expectIdentical(const dse::DseResult &a, const dse::DseResult &b)
+    {
+        EXPECT_EQ(a.bestIdx, b.bestIdx);
+        EXPECT_EQ(a.frontier, b.frontier);
+        ASSERT_EQ(a.points.size(), b.points.size());
+        for (std::size_t i = 0; i < a.points.size(); ++i) {
+            const sched::ScheduleSummary &sa = a.points[i].summary;
+            const sched::ScheduleSummary &sb = b.points[i].summary;
+            // Bit-identical, not just close: the engine must run the
+            // exact same computation whatever the thread count.
+            EXPECT_EQ(sa.makespanCycles, sb.makespanCycles) << i;
+            EXPECT_EQ(sa.latencySec, sb.latencySec) << i;
+            EXPECT_EQ(sa.energyMj, sb.energyMj) << i;
+            EXPECT_EQ(sa.sla.deadlineMisses, sb.sla.deadlineMisses)
+                << i;
+            EXPECT_EQ(a.points[i].accelerator.name(),
+                      b.points[i].accelerator.name())
+                << i;
+        }
+    }
+};
+
+// ---------------------------------------------------------------
+// Annealing determinism
+// ---------------------------------------------------------------
+
+TEST_F(DseEngineTest, AnnealingIsBitIdenticalAcrossThreadCounts)
+{
+    dse::DseResult serial = runAnnealing(1, 1);
+    dse::DseResult parallel = runAnnealing(1, 4);
+    dse::DseResult oversubscribed = runAnnealing(1, 13);
+    expectIdentical(serial, parallel);
+    expectIdentical(serial, oversubscribed);
+}
+
+TEST_F(DseEngineTest, AnnealingRerunIsBitIdentical)
+{
+    dse::DseResult a = runAnnealing(7, 2);
+    dse::DseResult b = runAnnealing(7, 2);
+    expectIdentical(a, b);
+}
+
+TEST_F(DseEngineTest, DifferentSeedsYieldValidFrontiers)
+{
+    for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{7},
+                               std::uint64_t{1234567}}) {
+        dse::DseResult result = runAnnealing(seed, 2);
+        ASSERT_FALSE(result.points.empty()) << "seed " << seed;
+        ASSERT_FALSE(result.frontier.empty()) << "seed " << seed;
+
+        std::vector<util::DesignPoint> pts = result.designPoints();
+        // Frontier members are mutually non-dominated...
+        for (std::size_t i : result.frontier) {
+            for (std::size_t j : result.frontier) {
+                if (i != j) {
+                    EXPECT_FALSE(
+                        util::dominates(pts[i], pts[j]))
+                        << "seed " << seed;
+                }
+            }
+        }
+        // ...and the frontier matches a from-scratch extraction.
+        EXPECT_EQ(result.frontier, util::paretoFrontIndices(pts))
+            << "seed " << seed;
+        // The scalarized argmin always sits on the frontier.
+        bool best_on_front = false;
+        for (std::size_t i : result.frontier)
+            best_on_front = best_on_front || i == result.bestIdx;
+        EXPECT_TRUE(best_on_front) << "seed " << seed;
+    }
+}
+
+TEST_F(DseEngineTest, AnnealingFindsExhaustiveOptimumOnTinyGrid)
+{
+    // 4 PE units x 4 BW units, 2-way: a 9-candidate grid. With 4
+    // chains x 24 iterations the walk visits essentially the whole
+    // space, so the best point must match the exhaustive argmin
+    // bit-for-bit.
+    auto run = [&](dse::SearchStrategy strategy) {
+        cost::CostModel model;
+        dse::HeraldOptions opts;
+        opts.partition.peGranularity = 256;
+        opts.partition.bwGranularity = 4.0;
+        opts.partition.strategy = strategy;
+        opts.partition.annealing.chains = 4;
+        opts.partition.annealing.iterations = 24;
+        opts.numThreads = 2;
+        dse::Herald herald(model, opts);
+        workload::Workload wl = miniWorkload();
+        return herald.explore(wl, accel::edgeClass(),
+                              {DataflowStyle::NVDLA,
+                               DataflowStyle::ShiDiannao});
+    };
+    dse::DseResult exhaustive = run(dse::SearchStrategy::Exhaustive);
+    dse::DseResult annealed = run(dse::SearchStrategy::Annealing);
+    EXPECT_EQ(annealed.best().summary.edp(),
+              exhaustive.best().summary.edp());
+    EXPECT_EQ(annealed.best().accelerator.name(),
+              exhaustive.best().accelerator.name());
+    // The metaheuristic never evaluates more points than the grid
+    // holds: revisits are memoized, not re-scored.
+    EXPECT_LE(annealed.points.size(), exhaustive.points.size());
+}
+
+TEST_F(DseEngineTest, AnnealingRespectsEvaluationBudget)
+{
+    cost::CostModel model;
+    dse::HeraldOptions opts = annealingOptions(3, 2);
+    opts.partition.annealing.chains = 2;
+    opts.partition.annealing.iterations = 64;
+    opts.partition.annealing.maxEvaluations = 5;
+    dse::Herald herald(model, opts);
+    workload::Workload wl = miniWorkload();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+    // The cap is checked between iteration batches, so at most one
+    // batch (<= chains fresh evaluations) can land past it.
+    EXPECT_LE(result.points.size(),
+              opts.partition.annealing.maxEvaluations +
+                  opts.partition.annealing.chains);
+    EXPECT_GE(result.points.size(), std::size_t{1});
+}
+
+// ---------------------------------------------------------------
+// Pareto-frontier objective on the exhaustive sweep
+// ---------------------------------------------------------------
+
+TEST_F(DseEngineTest, ExhaustiveParetoFrontierContainsArgmin)
+{
+    cost::CostModel model;
+    dse::HeraldOptions opts;
+    opts.partition.peGranularity = 128;
+    opts.partition.bwGranularity = 2.0;
+    opts.objective = dse::Objective::ParetoFrontier;
+    dse::Herald herald(model, opts);
+    workload::Workload wl = miniWorkload();
+    dse::DseResult result = herald.explore(
+        wl, accel::edgeClass(),
+        {DataflowStyle::NVDLA, DataflowStyle::ShiDiannao});
+
+    ASSERT_FALSE(result.frontier.empty());
+    EXPECT_EQ(result.frontier,
+              util::paretoFrontIndices(result.designPoints()));
+    bool best_on_front = false;
+    for (std::size_t i : result.frontier)
+        best_on_front = best_on_front || i == result.bestIdx;
+    EXPECT_TRUE(best_on_front);
+    EXPECT_EQ(result.frontierPoints().size(),
+              result.frontier.size());
+
+    // Scalar objectives leave the frontier empty (argmin-only
+    // consumers pay nothing for the new mode).
+    opts.objective = dse::Objective::Edp;
+    dse::Herald scalar(model, opts);
+    EXPECT_TRUE(scalar
+                    .explore(wl, accel::edgeClass(),
+                             {DataflowStyle::NVDLA,
+                              DataflowStyle::ShiDiannao})
+                    .frontier.empty());
+}
+
+// ---------------------------------------------------------------
+// Cross-candidate cost-column cache
+// ---------------------------------------------------------------
+
+TEST_F(DseEngineTest, CachedSweepBitIdenticalToCold)
+{
+    // A 3-way HDA grid is where columns actually recur across
+    // candidates (two axes per composition share values); the cached
+    // sweep must still be indistinguishable from the cold one.
+    auto run = [&](bool share, std::size_t threads) {
+        cost::CostModel model;
+        dse::HeraldOptions opts;
+        opts.partition.peGranularity = 256;
+        opts.partition.bwGranularity = 4.0;
+        opts.shareCostColumns = share;
+        opts.numThreads = threads;
+        dse::Herald herald(model, opts);
+        workload::Workload wl = miniWorkload();
+        return herald.explore(wl, accel::edgeClass(),
+                              {DataflowStyle::NVDLA,
+                               DataflowStyle::ShiDiannao,
+                               DataflowStyle::Eyeriss});
+    };
+    dse::DseResult cold = run(false, 1);
+    dse::DseResult cached = run(true, 1);
+    dse::DseResult cached_parallel = run(true, 4);
+    expectIdentical(cold, cached);
+    expectIdentical(cold, cached_parallel);
+}
+
+TEST_F(DseEngineTest, ColumnCacheBuildsBitIdenticalTables)
+{
+    // Randomized candidate sweep straight at the table layer: a
+    // shared cache across many 3-way splits must reproduce every
+    // cold-built table entry bit-for-bit, including when the build
+    // is a pure cache hit (second pass over the same candidates).
+    cost::CostModel cold_model;
+    cost::CostModel cached_model;
+    workload::Workload wl = miniWorkload();
+    accel::AcceleratorClass chip = accel::edgeClass();
+    const std::vector<DataflowStyle> styles{
+        DataflowStyle::NVDLA, DataflowStyle::ShiDiannao,
+        DataflowStyle::Eyeriss};
+    const accel::RdaOverheads rda{};
+    sched::CostColumnCache cache;
+    util::SplitMix64 rng(99);
+
+    std::vector<dse::PartitionCandidate> candidates;
+    dse::PartitionSpaceOptions space;
+    space.peGranularity = 128;
+    space.bwGranularity = 2.0;
+    for (int i = 0; i < 12; ++i) {
+        candidates.push_back(dse::randomCandidate(
+            chip.numPes, chip.bwGBps, styles.size(), space, rng));
+    }
+    // Second pass re-reads every column from the cache.
+    for (int i = 0; i < 12; ++i)
+        candidates.push_back(candidates[static_cast<std::size_t>(i)]);
+
+    for (const dse::PartitionCandidate &cand : candidates) {
+        accel::Accelerator acc = accel::Accelerator::makeHda(
+            chip, styles, cand.peSplit, cand.bwSplit);
+        sched::LayerCostTable cold = sched::LayerCostTable::build(
+            cold_model, wl, acc, sched::Metric::Edp, rda);
+        sched::LayerCostTable warm = sched::LayerCostTable::build(
+            cached_model, wl, acc, sched::Metric::Edp, rda, 1,
+            &cache);
+        ASSERT_EQ(cold.numUniqueLayers(), warm.numUniqueLayers());
+        ASSERT_EQ(cold.numSubAccs(), warm.numSubAccs());
+        for (std::size_t row = 0; row < cold.numUniqueLayers();
+             ++row) {
+            EXPECT_EQ(cold.minCycles(row), warm.minCycles(row));
+            for (std::size_t a = 0; a < cold.numSubAccs(); ++a) {
+                EXPECT_EQ(cold.cost(row, a).style,
+                          warm.cost(row, a).style);
+                EXPECT_EQ(cold.cost(row, a).cost.cycles,
+                          warm.cost(row, a).cost.cycles);
+                EXPECT_EQ(cold.cost(row, a).cost.energyMj,
+                          warm.cost(row, a).cost.energyMj);
+                EXPECT_EQ(cold.metric(row, a), warm.metric(row, a));
+                EXPECT_EQ(cold.order(row)[a], warm.order(row)[a]);
+            }
+        }
+    }
+    // The duplicate second pass guarantees real hits happened.
+    EXPECT_GT(cache.stats().hits, std::size_t{0});
+    EXPECT_GT(cache.size(), std::size_t{0});
+}
+
+} // namespace

@@ -1,8 +1,9 @@
 /**
  * @file
- * util/pareto tests: the dominance relation, Pareto-front extraction
- * (insertion of non-dominated points, eviction of dominated ones,
- * tie handling), input-order determinism, and the min-EDP picker.
+ * util/pareto tests: the dominance relation (two- and
+ * three-objective), Pareto-front extraction (insertion of
+ * non-dominated points, eviction of dominated ones, tie handling),
+ * the index view, input-order determinism, and the min-EDP picker.
  */
 
 #include <gtest/gtest.h>
@@ -21,11 +22,21 @@ using herald::util::DesignPoint;
 using herald::util::dominates;
 using herald::util::minEdpIndex;
 using herald::util::paretoFront;
+using herald::util::paretoFrontIndices;
 
 DesignPoint
 pt(double latency, double energy, const char *label = "")
 {
     return DesignPoint{latency, energy, label};
+}
+
+DesignPoint
+pt3(double latency, double energy, double misses,
+    const char *label = "")
+{
+    DesignPoint p{latency, energy, label};
+    p.slaMisses = misses;
+    return p;
 }
 
 TEST(ParetoTest, DominanceRelation)
@@ -123,6 +134,53 @@ TEST(ParetoTest, FrontIsInputOrderDeterministic)
             EXPECT_EQ(front[i].energy, ref[i].energy);
         }
     }
+}
+
+TEST(ParetoTest, ThirdAxisDominance)
+{
+    // The SLA axis participates in dominance like the other two.
+    EXPECT_TRUE(dominates(pt3(1.0, 1.0, 0.0), pt3(1.0, 1.0, 2.0)));
+    EXPECT_FALSE(dominates(pt3(1.0, 1.0, 2.0), pt3(1.0, 1.0, 0.0)));
+    // Better latency/energy but more misses: incomparable.
+    EXPECT_FALSE(dominates(pt3(1.0, 1.0, 3.0), pt3(2.0, 2.0, 0.0)));
+    EXPECT_FALSE(dominates(pt3(2.0, 2.0, 0.0), pt3(1.0, 1.0, 3.0)));
+    // Defaulted third axis (0) reproduces classic 2-D dominance.
+    EXPECT_TRUE(dominates(pt(1.0, 1.0), pt3(2.0, 2.0, 0.0)));
+}
+
+TEST(ParetoTest, ThreeObjectiveFrontKeepsMissTradeoffs)
+{
+    // A point that loses on latency and energy survives by winning
+    // the SLA axis; a point dominated on all three is evicted.
+    const std::vector<DesignPoint> points = {
+        pt3(1.0, 2.0, 4.0, "fast-but-missy"),
+        pt3(3.0, 3.0, 0.0, "slow-but-clean"),
+        pt3(3.5, 3.5, 1.0, "dominated"),
+    };
+    const std::vector<DesignPoint> front = paretoFront(points);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(front[0].label, "fast-but-missy");
+    EXPECT_EQ(front[1].label, "slow-but-clean");
+}
+
+TEST(ParetoTest, FrontIndicesMatchFrontAndCollapseDuplicates)
+{
+    const std::vector<DesignPoint> points = {
+        pt3(2.0, 2.0, 0.0, "dup-late"), pt3(1.0, 3.0, 0.0, "a"),
+        pt3(2.0, 2.0, 0.0, "dup-early"), pt3(5.0, 5.0, 5.0, "bad"),
+    };
+    const std::vector<std::size_t> idx = paretoFrontIndices(points);
+    const std::vector<DesignPoint> front = paretoFront(points);
+    ASSERT_EQ(idx.size(), front.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        EXPECT_EQ(points[idx[i]].latency, front[i].latency);
+        EXPECT_EQ(points[idx[i]].energy, front[i].energy);
+    }
+    // Exact duplicates keep the lowest original index (position 0,
+    // "dup-late", beats position 2 despite identical coordinates).
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1u);
+    EXPECT_EQ(idx[1], 0u);
 }
 
 TEST(ParetoTest, MinEdpIndexPicksProductMinimum)

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * mdlink_check: verify that relative links in Markdown files resolve
+ * to real files. CI runs it over README.md and docs/ so a moved or
+ * renamed file cannot silently strand the documentation tree.
+ *
+ * Checked: inline links and images, `[text](target)` / `![alt](t)`.
+ *   - external targets (a scheme like https:// or mailto:) are
+ *     skipped — network reachability is not a build property;
+ *   - pure in-page anchors (#section) are skipped;
+ *   - targets that resolve outside --root are skipped: they address
+ *     hosting-site routes (e.g. the ../../actions/... CI badge),
+ *     which the repository tree cannot validate;
+ *   - everything else resolves relative to the linking file (or to
+ *     --root when the target starts with '/'), minus any ?query or
+ *     #fragment suffix, and must exist as a file or directory.
+ * Fenced code blocks and inline code spans are ignored, so literal
+ * `[x](y)` examples in documentation do not trip the pass.
+ *
+ * Usage:
+ *   mdlink_check --root DIR PATH...
+ * where every PATH (file, or directory scanned recursively for *.md)
+ * is interpreted relative to DIR. Exits non-zero listing every broken
+ * link as file:line.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct BrokenLink
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string target;
+};
+
+/** Strip inline code spans: `...` becomes spaces, backticks kept. */
+std::string
+blankCodeSpans(const std::string &line)
+{
+    std::string out = line;
+    bool in_span = false;
+    for (char &c : out) {
+        if (c == '`')
+            in_span = !in_span;
+        else if (in_span)
+            c = ' ';
+    }
+    return out;
+}
+
+bool
+isExternal(const std::string &target)
+{
+    // A scheme per RFC 3986: ALPHA *(ALPHA / DIGIT / + / - / .) ":".
+    // "mailto:x" and "https://x" are external; "a/b.md:" cannot occur
+    // because ':' never appears in our relative targets.
+    if (target.empty() ||
+        !std::isalpha(static_cast<unsigned char>(target[0])))
+        return false;
+    for (std::size_t i = 1; i < target.size(); ++i) {
+        char c = target[i];
+        if (c == ':')
+            return true;
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '+' && c != '-' && c != '.')
+            return false;
+    }
+    return false;
+}
+
+/** Extract link targets from one already-code-blanked line. */
+std::vector<std::string>
+linkTargets(const std::string &line)
+{
+    std::vector<std::string> targets;
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+        if (line[i] != ']' || line[i + 1] != '(')
+            continue;
+        std::size_t start = i + 2;
+        // Targets may contain balanced parentheses (rare but legal);
+        // scan to the matching closer.
+        int depth = 1;
+        std::size_t end = start;
+        while (end < line.size() && depth > 0) {
+            if (line[end] == '(')
+                ++depth;
+            else if (line[end] == ')' && --depth == 0)
+                break;
+            ++end;
+        }
+        if (depth != 0)
+            continue; // unterminated — not a link
+        std::string target = line.substr(start, end - start);
+        // "[text](target "title")": drop the optional title.
+        std::size_t space = target.find(' ');
+        if (space != std::string::npos)
+            target = target.substr(0, space);
+        if (!target.empty())
+            targets.push_back(target);
+    }
+    return targets;
+}
+
+void
+checkFile(const fs::path &root, const fs::path &file,
+          std::vector<BrokenLink> &broken)
+{
+    std::ifstream in(file);
+    if (!in) {
+        broken.push_back({file.string(), 0, "<unreadable file>"});
+        return;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    bool in_fence = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Fence delimiters toggle; everything inside is literal.
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first != std::string::npos &&
+            (line.compare(first, 3, "```") == 0 ||
+             line.compare(first, 3, "~~~") == 0)) {
+            in_fence = !in_fence;
+            continue;
+        }
+        if (in_fence)
+            continue;
+        for (const std::string &raw :
+             linkTargets(blankCodeSpans(line))) {
+            if (isExternal(raw) || raw[0] == '#')
+                continue;
+            std::string target = raw;
+            std::size_t cut = target.find_first_of("#?");
+            if (cut != std::string::npos)
+                target = target.substr(0, cut);
+            if (target.empty())
+                continue;
+            fs::path resolved =
+                target[0] == '/'
+                    ? root / target.substr(1)
+                    : file.parent_path() / target;
+            std::error_code ec;
+            // String-prefix containment on normalized absolute
+            // paths ("--root ." absolutizes to ".../repo/.", whose
+            // trailing empty element would break element-wise
+            // prefix iteration).
+            std::string norm = fs::absolute(resolved, ec)
+                                   .lexically_normal()
+                                   .generic_string();
+            std::string root_norm = (fs::absolute(root, ec) / "")
+                                        .lexically_normal()
+                                        .generic_string();
+            if (norm.compare(0, root_norm.size(), root_norm) != 0)
+                continue; // escapes --root: not ours to validate
+            if (!fs::exists(resolved, ec))
+                broken.push_back({file.string(), lineno, raw});
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: %s --root DIR PATH...\n", argv[0]);
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (root.empty() || paths.empty()) {
+        std::fprintf(stderr, "usage: %s --root DIR PATH...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        fs::path abs = root / p;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            for (const fs::directory_entry &e :
+                 fs::recursive_directory_iterator(abs)) {
+                if (e.is_regular_file() &&
+                    e.path().extension() == ".md")
+                    files.push_back(e.path());
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            files.push_back(abs);
+        } else {
+            std::fprintf(stderr, "mdlink_check: no such path: %s\n",
+                         abs.string().c_str());
+            return 2;
+        }
+    }
+    // Directory iteration order is filesystem-dependent; sort so the
+    // report (and any future fixture diffing) is deterministic.
+    std::sort(files.begin(), files.end());
+
+    std::vector<BrokenLink> broken;
+    for (const fs::path &f : files)
+        checkFile(root, f, broken);
+
+    if (!broken.empty()) {
+        for (const BrokenLink &b : broken)
+            std::fprintf(stderr, "%s:%zu: broken link: %s\n",
+                         b.file.c_str(), b.line, b.target.c_str());
+        std::fprintf(stderr,
+                     "mdlink_check: %zu broken link(s) across %zu "
+                     "file(s)\n",
+                     broken.size(), files.size());
+        return 1;
+    }
+    std::printf("mdlink_check: %zu file(s) clean\n", files.size());
+    return 0;
+}
